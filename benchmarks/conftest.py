@@ -1,0 +1,38 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (the simulator is
+deterministic), asserts the paper's *shape* criteria, and writes the
+regenerated table to ``results/`` so a benchmark run leaves all paper
+tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.report import format_table, save_report
+
+#: Where regenerated tables are written.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Fixture: render rows, save under results/, and echo to stdout."""
+
+    def _record(name: str, rows, title: str, columns=None) -> str:
+        table = format_table(rows, columns=columns, title=title)
+        save_report(name, table, directory=RESULTS_DIR)
+        print()
+        print(table)
+        return table
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

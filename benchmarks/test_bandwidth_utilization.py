@@ -1,0 +1,27 @@
+"""§III microbenchmark: TCP bandwidth utilisation vs stream count.
+
+Shape criteria: "a single communication stream can only utilize at most
+30% of the bandwidth provided by the TCP/IP link"; concurrent streams
+push utilisation toward the aggregate limit (~96%), which is the entire
+premise of multi-streamed communication.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import bandwidth_utilization
+
+
+def test_bandwidth_utilization(benchmark, record_table):
+    rows = run_once(benchmark, bandwidth_utilization)
+    record_table("bandwidth_utilization", rows,
+                 "TCP utilisation vs number of concurrent streams (§III)")
+    by_streams = {row["streams"]: row for row in rows}
+
+    # One stream: at most ~30% of the raw 30 Gbps link.
+    assert by_streams[1]["utilization"] < 0.32
+    assert by_streams[1]["utilization"] > 0.2
+
+    # Utilisation grows with streams and approaches the aggregate cap.
+    utils = [by_streams[k]["utilization"] for k in (1, 2, 4, 8)]
+    assert utils == sorted(utils)
+    assert by_streams[8]["utilization"] > 0.85
+    assert by_streams[16]["utilization"] <= 1.0

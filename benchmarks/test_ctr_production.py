@@ -1,0 +1,24 @@
+"""§VIII-C: the production CTR recommendation workload at 128 GPUs.
+
+Shape criteria: Horovod's master-node negotiation over thousands of
+embedding-gradient tensors is the bottleneck; AIACC's decentralized
+synchronization yields a near-order-of-magnitude speedup (paper: 13.4x
+over hand-tuned Horovod-DDL; our synthetic CTR stand-in lands in the
+same regime — see EXPERIMENTS.md for the calibration notes).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import ctr_production
+
+
+def test_ctr_production(benchmark, record_table):
+    rows = run_once(benchmark, ctr_production)
+    record_table("ctr_production", rows,
+                 "Production CTR workload (128 GPUs)")
+    row = rows[0]
+
+    # Near-order-of-magnitude win from decentralized synchronization.
+    assert row["speedup"] > 5.0
+    # Throughput must be in the "billions of entries in hours" regime
+    # the paper describes (100e9 entries / 5 h needs ~5.6M entries/s).
+    assert row["aiacc_entries_per_s"] > 1e6

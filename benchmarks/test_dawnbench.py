@@ -1,0 +1,25 @@
+"""§VIII-C: DAWNBench — time and cost to 93% top-5 on ImageNet.
+
+Shape criteria: with the AIACC recipe (fp16 + AdamSGD + linear decay,
+folded into the calibrated epochs-to-target constant) on 128 V100 GPUs,
+training lands in the paper's regime: "158 seconds ... with a training
+cost of $7.43" on 16 instances.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import dawnbench
+
+
+def test_dawnbench(benchmark, record_table):
+    rows = run_once(benchmark, dawnbench)
+    record_table("dawnbench", rows,
+                 "DAWNBench: ResNet-50 to 93% top-5 (128 GPUs)")
+    row = rows[0]
+
+    assert row["instances"] == 16
+    # Paper: 158 s.  Our simulated throughput is fp32-calibrated, so the
+    # match is in the right regime rather than exact.
+    assert row["train_seconds"] == pytest.approx(158, rel=0.3)
+    assert row["cost_usd"] == pytest.approx(7.43, rel=0.3)

@@ -1,0 +1,30 @@
+"""Fig. 12: MXNet models — AIACC vs the native KVStore parameter server.
+
+Shape criteria: "the parameter server approach used by MXNet gives a
+lower throughput compared to the all-reduce" — AIACC wins every
+multi-node point and the gap widens with scale.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig12_mxnet
+
+
+def test_fig12_mxnet(benchmark, record_table):
+    rows = run_once(benchmark, fig12_mxnet)
+    record_table(
+        "fig12_mxnet", rows,
+        "Fig. 12: MXNet throughput (AIACC vs KVStore PS)",
+        columns=["model", "gpus", "aiacc", "mxnet-kvstore", "aiacc_eff",
+                 "mxnet-kvstore_eff"])
+    by_key = {(row["model"], row["gpus"]): row for row in rows}
+
+    for (model, gpus), row in by_key.items():
+        if gpus > 8:
+            assert row["aiacc"] > row["mxnet-kvstore"], (model, gpus)
+
+    for model in ("vgg16", "resnet50"):
+        gain_16 = by_key[(model, 16)]["aiacc"] / \
+            by_key[(model, 16)]["mxnet-kvstore"]
+        gain_256 = by_key[(model, 256)]["aiacc"] / \
+            by_key[(model, 256)]["mxnet-kvstore"]
+        assert gain_256 > gain_16 > 1.0, model

@@ -1,0 +1,24 @@
+"""Fig. 14: impact of batch size (BERT-Large, 16 GPUs).
+
+Shape criteria: "AIACC-Training gives better performance on small batch
+sizes due to the more frequent gradient communications" — the speedup
+over Horovod decreases monotonically as per-GPU batch grows, from a
+multi-x gain at tiny batches toward parity at memory-filling batches.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig14_batchsize
+
+
+def test_fig14_batchsize(benchmark, record_table):
+    rows = run_once(benchmark, fig14_batchsize)
+    record_table("fig14_batchsize", rows,
+                 "Fig. 14: BERT-Large speedup over Horovod vs batch size")
+    speedups = [row["speedup"] for row in rows]
+
+    # Monotone decrease with batch size.
+    assert speedups == sorted(speedups, reverse=True)
+    # Strong gain at the smallest batch, approaching parity at the top.
+    assert speedups[0] > 2.0
+    assert speedups[-1] < 1.3
+    assert all(s >= 1.0 for s in speedups)

@@ -1,0 +1,26 @@
+"""§VIII-A what-if: future high-end GPUs amplify the AIACC advantage.
+
+Shape criteria: "As future-generation GPUs are likely to provide more
+parallel execution units, we expect AIACC-Training will deliver better
+performance on future high-end GPUs by leveraging the hardware
+parallelism" — on an A100 cluster (more SMs, faster compute) the
+AIACC-over-Horovod speedup must exceed the V100 cluster's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import future_gpu_whatif
+
+
+def test_future_gpu_whatif(benchmark, record_table):
+    rows = run_once(benchmark, future_gpu_whatif)
+    record_table("future_gpu", rows,
+                 "What-if: V100 vs A100 (VGG-16, 64 GPUs, 30 Gbps TCP)")
+    by_gpu = {row["gpu"]: row for row in rows}
+
+    # Both generations: AIACC wins.
+    assert all(row["speedup"] > 1.0 for row in rows)
+    # Faster GPUs make training more communication-bound, so the
+    # multi-stream advantage grows.
+    assert by_gpu["A100"]["speedup"] > by_gpu["V100"]["speedup"]
+    # Absolute throughput improves with the better GPU too.
+    assert by_gpu["A100"]["aiacc"] > by_gpu["V100"]["aiacc"]

@@ -1,0 +1,39 @@
+"""Scalability study: ResNet-50/VGG-16 on the simulated GPU cloud.
+
+Reproduces a slice of the paper's Fig. 9 interactively: training
+throughput of AIACC-Training against Horovod, PyTorch-DDP and BytePS on
+8-128 V100 GPUs connected by the 30 Gbps TCP network, plus the scaling
+efficiencies of Fig. 2.
+
+Run:  python examples/imagenet_scalability.py
+"""
+
+from repro.harness import format_table, measure
+
+
+def main() -> None:
+    backends = ("aiacc", "horovod", "pytorch-ddp", "byteps")
+    for model in ("resnet50", "vgg16"):
+        rows = []
+        for gpus in (8, 16, 32, 64, 128):
+            row = {"gpus": gpus}
+            for backend in backends:
+                result = measure(model, backend, gpus)
+                row[backend] = result.throughput
+            row["aiacc_vs_horovod"] = row["aiacc"] / row["horovod"]
+            rows.append(row)
+        print(format_table(
+            rows, title=f"{model}: images/s on V100 nodes, 30 Gbps TCP"))
+        print()
+
+    # The headline anchors from the paper's Section III / VIII-A.
+    rn = measure("resnet50", "aiacc", 32)
+    hv = measure("resnet50", "horovod", 32)
+    print(f"ResNet-50 @ 32 GPUs: AIACC scaling efficiency "
+          f"{rn.scaling_efficiency:.2f} (paper: >0.9), "
+          f"speedup over Horovod {rn.throughput / hv.throughput:.2f}x "
+          f"(paper: 1.3x)")
+
+
+if __name__ == "__main__":
+    main()

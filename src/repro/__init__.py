@@ -1,0 +1,36 @@
+"""repro — a full reproduction of AIACC-Training (ICDCS 2022).
+
+Lin et al., "AIACC-Training: Optimizing Distributed Deep Learning
+Training through Multi-streamed and Concurrent Gradient Communications".
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event substrate replacing the GPU-cloud
+    testbed: fluid network with per-stream caps, V100/CUDA-stream model,
+    cluster topologies, MPI daemons.
+``repro.collectives``
+    Ring/hierarchical all-reduce and friends — numeric (verifiable) and
+    timed (flow-level) faces.
+``repro.models``
+    Workload specs for every DNN the paper evaluates (Table I, GPT-2 XL,
+    the production CTR system).
+``repro.frameworks``
+    Baselines: Horovod, PyTorch-DDP, BytePS, MXNet KVStore.
+``repro.core``
+    AIACC-Training itself: decentralized synchronization, gradient
+    packing, the multi-stream engine, the Perseus API, and the
+    production features (compression, fault tolerance, NaN debugging,
+    source translation).
+``repro.autotune``
+    The Section VI ensemble auto-tuner and settings cache.
+``repro.training``
+    Optimizers, schedules, trainers (timed + numeric), hybrid
+    parallelism, time-to-accuracy.
+``repro.harness``
+    One experiment per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

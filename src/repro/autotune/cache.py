@@ -1,0 +1,157 @@
+"""Best-setting cache keyed by deployment similarity (paper §VI).
+
+"When used in a GPU cloud, AIACC-Training also stores the
+previously-found best parameter setting for a given DNN computation
+graph, cloud instance and network topology.  It then uses this setting as
+a starting point for a similar cloud instance deployment to boost the
+search."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import networkx as nx
+
+from repro.errors import AutotuneError
+from repro.autotune.graph_distance import deployment_distance
+from repro.autotune.space import ParameterPoint
+from repro.models.base import ModelSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One remembered deployment and its tuned parameters."""
+
+    label: str
+    model: ModelSpec
+    topology: nx.Graph
+    best_point: ParameterPoint
+    best_cost_s: float
+
+
+class SettingsCache:
+    """Nearest-deployment lookup of previously tuned parameters."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise AutotuneError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: list[CacheEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def store(self, label: str, model: ModelSpec, topology: nx.Graph,
+              best_point: ParameterPoint, best_cost_s: float) -> None:
+        """Remember a tuned deployment (oldest evicted beyond capacity)."""
+        self._entries.append(CacheEntry(
+            label=label, model=model, topology=topology,
+            best_point=best_point, best_cost_s=best_cost_s))
+        if len(self._entries) > self.max_entries:
+            self._entries.pop(0)
+
+    def lookup(self, model: ModelSpec, topology: nx.Graph,
+               max_distance: float | None = None
+               ) -> tuple[CacheEntry, float] | None:
+        """Most similar remembered deployment (entry, distance), or None.
+
+        ``max_distance`` rejects matches that are too far away to be a
+        useful warm start.
+        """
+        best: CacheEntry | None = None
+        best_distance = float("inf")
+        for entry in self._entries:
+            distance = deployment_distance(
+                model, topology, entry.model, entry.topology)
+            if distance < best_distance:
+                best, best_distance = entry, distance
+        if best is None:
+            return None
+        if max_distance is not None and best_distance > max_distance:
+            return None
+        return best, best_distance
+
+    def starting_point(self, model: ModelSpec, topology: nx.Graph,
+                       max_distance: float | None = None
+                       ) -> ParameterPoint | None:
+        """The warm-start point for a new deployment, if any."""
+        found = self.lookup(model, topology, max_distance=max_distance)
+        return found[0].best_point if found else None
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist the cache as JSON (the production library stores tuned
+        settings per cloud deployment so repeated jobs warm-start)."""
+        payload = []
+        for entry in self._entries:
+            payload.append({
+                "label": entry.label,
+                "model": _model_fingerprint(entry.model),
+                "topology": nx.node_link_data(entry.topology, edges="links"),
+                "best_point": {
+                    "num_streams": entry.best_point.num_streams,
+                    "granularity_bytes": entry.best_point.granularity_bytes,
+                    "algorithm": entry.best_point.algorithm,
+                },
+                "best_cost_s": entry.best_cost_s,
+            })
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path,
+             max_entries: int = 256) -> "SettingsCache":
+        """Restore a cache written by :meth:`save`.
+
+        Model specs are restored as lightweight fingerprints that carry
+        exactly the layer-size structure the similarity metric uses.
+        """
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise AutotuneError(f"cannot load settings cache: {exc}") \
+                from exc
+        cache = cls(max_entries=max_entries)
+        for item in payload:
+            cache.store(
+                label=item["label"],
+                model=_model_from_fingerprint(item["model"]),
+                topology=nx.node_link_graph(item["topology"],
+                                            edges="links"),
+                best_point=ParameterPoint(**item["best_point"]),
+                best_cost_s=item["best_cost_s"],
+            )
+        return cache
+
+
+def _model_fingerprint(model: ModelSpec) -> dict:
+    """The communication-relevant skeleton of a model, JSON-safe."""
+    return {
+        "name": model.name,
+        "layer_sizes": [layer.num_parameters for layer in model.layers],
+        "layer_flops": [layer.forward_flops for layer in model.layers],
+        "compute_occupancy": model.compute_occupancy,
+    }
+
+
+def _model_from_fingerprint(data: dict) -> ModelSpec:
+    """Rebuild a similarity-equivalent ModelSpec from a fingerprint."""
+    from repro.models.base import LayerSpec, ParameterSpec
+
+    layers = tuple(
+        LayerSpec(
+            name=f"layer{i}",
+            parameters=(ParameterSpec(f"layer{i}.p", max(1, int(size))),),
+            forward_flops=float(flops),
+        )
+        for i, (size, flops) in enumerate(
+            zip(data["layer_sizes"], data["layer_flops"]))
+    )
+    return ModelSpec(
+        name=data["name"],
+        layers=layers,
+        compute_occupancy=data["compute_occupancy"],
+    )

@@ -1,0 +1,93 @@
+"""Graph similarity for the settings cache (paper §VI).
+
+"To quantify the similarity of a DDL deployment and a previously seen
+one, we measure the similarity of the DNN computation graph and the
+network topology ... We use the graph edit distance to measure graph
+similarities."
+
+Exact graph edit distance (GED) is exponential; for the small graphs the
+cache compares (tens of nodes) we run networkx's optimized GED
+approximation, and beyond a size threshold we fall back to a
+degree/attribute-signature lower bound — both metrics are admissible for
+nearest-neighbour lookup, which is all the cache needs.
+"""
+
+from __future__ import annotations
+
+
+import networkx as nx
+import numpy as np
+
+from repro.models.base import ModelSpec
+
+#: Above this node count, exact-ish GED is replaced by the signature bound.
+GED_EXACT_NODE_LIMIT = 12
+
+
+def model_graph(spec: ModelSpec) -> nx.Graph:
+    """The DNN computation graph used for similarity: a layer chain.
+
+    Nodes carry a log-scale parameter-size bucket so that two models with
+    the same depth but very different tensor sizes are distant.
+    """
+    graph = nx.Graph()
+    for index, layer in enumerate(spec.layers):
+        bucket = int(np.log10(max(layer.num_parameters, 1)))
+        graph.add_node(index, size_bucket=bucket)
+        if index:
+            graph.add_edge(index - 1, index)
+    return graph
+
+
+def _signature(graph: nx.Graph, node_attr: str | None) -> np.ndarray:
+    """Sorted degree + attribute histogram signature of a graph."""
+    degrees = sorted(d for _, d in graph.degree())
+    histogram = np.zeros(16)
+    if node_attr:
+        for _, data in graph.nodes(data=True):
+            bucket = int(data.get(node_attr, 0)) % 16
+            histogram[bucket] += 1
+    return np.concatenate([
+        [graph.number_of_nodes(), graph.number_of_edges()],
+        np.bincount(np.asarray(degrees, dtype=int) if degrees else
+                    np.zeros(0, dtype=int), minlength=8)[:8],
+        histogram,
+    ])
+
+
+def signature_distance(a: nx.Graph, b: nx.Graph,
+                       node_attr: str | None = None) -> float:
+    """L1 distance between graph signatures — a cheap GED lower bound."""
+    return float(np.abs(_signature(a, node_attr)
+                        - _signature(b, node_attr)).sum())
+
+
+def graph_edit_distance(a: nx.Graph, b: nx.Graph,
+                        node_attr: str | None = None) -> float:
+    """GED between two graphs (approximate beyond the size limit)."""
+    if max(a.number_of_nodes(), b.number_of_nodes()) > GED_EXACT_NODE_LIMIT:
+        return signature_distance(a, b, node_attr)
+
+    def node_match(x: dict, y: dict) -> bool:
+        if node_attr is None:
+            return True
+        return x.get(node_attr) == y.get(node_attr)
+
+    # networkx returns an upper-bound sequence; take the first (fast)
+    # solution — a valid edit path, hence an admissible distance.
+    for cost in nx.optimize_graph_edit_distance(a, b,
+                                                node_match=node_match):
+        return float(cost)
+    return signature_distance(a, b, node_attr)  # pragma: no cover
+
+
+def deployment_distance(model_a: ModelSpec, topo_a: nx.Graph,
+                        model_b: ModelSpec, topo_b: nx.Graph) -> float:
+    """Combined (model graph, topology graph) deployment distance."""
+    model_term = signature_distance(model_graph(model_a),
+                                    model_graph(model_b),
+                                    node_attr="size_bucket")
+    topo_term = graph_edit_distance(topo_a, topo_b)
+    # Topology differences dominate: a new cluster shape changes optimal
+    # parameters more than a few extra layers do.
+    return model_term + 4.0 * topo_term

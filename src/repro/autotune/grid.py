@@ -1,0 +1,42 @@
+"""Grid search technique.
+
+Enumerates the space in a *coarse-to-fine* order: a stride-based sweep
+visits well-spread points first, so even a small iteration budget samples
+every region of the grid before refinement fills the gaps.
+"""
+
+from __future__ import annotations
+
+from repro.autotune.space import ParameterPoint, SearchSpace
+from repro.autotune.techniques import SearchTechnique
+
+
+class GridSearch(SearchTechnique):
+    """Deterministic coarse-to-fine sweep of the whole grid."""
+
+    name = "grid"
+
+    def __init__(self, space: SearchSpace) -> None:
+        super().__init__(space)
+        self._order = self._coarse_to_fine(space.all_points())
+        self._cursor = 0
+
+    @staticmethod
+    def _coarse_to_fine(points: list[ParameterPoint]) -> list[ParameterPoint]:
+        """Reorder so early proposals are spread across the space."""
+        ordered: list[ParameterPoint] = []
+        seen: set[ParameterPoint] = set()
+        stride = len(points)
+        while stride >= 1:
+            for index in range(0, len(points), stride):
+                point = points[index]
+                if point not in seen:
+                    seen.add(point)
+                    ordered.append(point)
+            stride //= 2
+        return ordered
+
+    def propose(self) -> ParameterPoint:
+        point = self._order[self._cursor % len(self._order)]
+        self._cursor += 1
+        return point

@@ -1,0 +1,107 @@
+"""The communication-parameter search space (paper §VI).
+
+"Hyperparameters like the all-reduce unit size, the number of CUDA
+streams used and the all-reduce algorithm can have an impact on the
+communication efficiency.  The combination of possible parameter values
+results in a large optimization space."
+
+Streams span 2–24 (the range the paper observes chosen in production);
+granularities are power-of-two unit sizes from 1 MB to 128 MB; the
+algorithm is ring or hierarchical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as t
+
+import numpy as np
+
+from repro.errors import AutotuneError
+
+#: Default candidate values.
+DEFAULT_STREAMS = (2, 4, 8, 12, 16, 20, 24)
+DEFAULT_GRANULARITIES_MB = (1, 2, 4, 8, 16, 32, 64, 128)
+DEFAULT_ALGORITHMS = ("ring", "hierarchical")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class ParameterPoint:
+    """One candidate communication-parameter setting."""
+
+    num_streams: int
+    granularity_bytes: float
+    algorithm: str
+
+    def encode(self, space: "SearchSpace") -> np.ndarray:
+        """Normalised numeric vector (for the Bayesian surrogate)."""
+        return np.array([
+            space.streams.index(self.num_streams) /
+            max(1, len(space.streams) - 1),
+            space.granularities.index(self.granularity_bytes) /
+            max(1, len(space.granularities) - 1),
+            space.algorithms.index(self.algorithm) /
+            max(1, len(space.algorithms) - 1),
+        ])
+
+
+class SearchSpace:
+    """Finite grid of candidate parameter points."""
+
+    def __init__(self,
+                 streams: t.Sequence[int] = DEFAULT_STREAMS,
+                 granularities_mb: t.Sequence[float]
+                 = DEFAULT_GRANULARITIES_MB,
+                 algorithms: t.Sequence[str] = DEFAULT_ALGORITHMS) -> None:
+        if not streams or not granularities_mb or not algorithms:
+            raise AutotuneError("search space dimensions must be non-empty")
+        self.streams = sorted(set(streams))
+        self.granularities = sorted(g * 1e6 for g in set(granularities_mb))
+        self.algorithms = list(dict.fromkeys(algorithms))
+
+    def __len__(self) -> int:
+        return (len(self.streams) * len(self.granularities)
+                * len(self.algorithms))
+
+    def __contains__(self, point: ParameterPoint) -> bool:
+        return (point.num_streams in self.streams
+                and point.granularity_bytes in self.granularities
+                and point.algorithm in self.algorithms)
+
+    def all_points(self) -> list[ParameterPoint]:
+        """Every point, in a deterministic order."""
+        return [
+            ParameterPoint(s, g, a)
+            for s, g, a in itertools.product(
+                self.streams, self.granularities, self.algorithms)
+        ]
+
+    def random_point(self, rng: np.random.Generator) -> ParameterPoint:
+        """Uniform sample from the grid."""
+        return ParameterPoint(
+            num_streams=self.streams[rng.integers(len(self.streams))],
+            granularity_bytes=self.granularities[
+                rng.integers(len(self.granularities))],
+            algorithm=self.algorithms[rng.integers(len(self.algorithms))],
+        )
+
+    def neighbors(self, point: ParameterPoint) -> list[ParameterPoint]:
+        """Points one grid step away (PBT perturbations)."""
+        if point not in self:
+            raise AutotuneError(f"{point} is not in the search space")
+        found = []
+        s_idx = self.streams.index(point.num_streams)
+        g_idx = self.granularities.index(point.granularity_bytes)
+        for delta in (-1, 1):
+            if 0 <= s_idx + delta < len(self.streams):
+                found.append(dataclasses.replace(
+                    point, num_streams=self.streams[s_idx + delta]))
+            if 0 <= g_idx + delta < len(self.granularities):
+                found.append(dataclasses.replace(
+                    point,
+                    granularity_bytes=self.granularities[g_idx + delta]))
+        for algorithm in self.algorithms:
+            if algorithm != point.algorithm:
+                found.append(dataclasses.replace(point, algorithm=algorithm))
+        return found

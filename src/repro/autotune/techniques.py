@@ -1,0 +1,41 @@
+"""The search-technique interface shared by the tuner's ensemble.
+
+"Our current search ensemble considers four established search
+techniques: grid-search, population based training (PBT), Bayesian
+optimization, and Hyperband, but other search techniques can be added"
+(paper §VI).  Every technique implements propose/observe; the meta solver
+(:mod:`repro.autotune.bandit`) decides which technique gets each of the
+warm-up training iterations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.autotune.space import ParameterPoint, SearchSpace
+
+
+class SearchTechnique(abc.ABC):
+    """One member of the auto-tuning ensemble."""
+
+    #: Technique label used by the meta solver and reports.
+    name: str = "abstract"
+
+    def __init__(self, space: SearchSpace) -> None:
+        self.space = space
+        self.evaluations = 0
+
+    @abc.abstractmethod
+    def propose(self) -> ParameterPoint:
+        """Return the next candidate to evaluate."""
+
+    def observe(self, point: ParameterPoint, cost: float) -> None:
+        """Feed back the measured cost (iteration seconds; lower better)."""
+        self.evaluations += 1
+        self._observe(point, cost)
+
+    def _observe(self, point: ParameterPoint, cost: float) -> None:
+        """Technique-specific bookkeeping; default is stateless."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} after {self.evaluations} evals>"

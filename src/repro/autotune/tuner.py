@@ -1,0 +1,175 @@
+"""The warm-up auto-tuner (paper §VI).
+
+"Given a budget of n training iterations and k search techniques (k = 4
+and n = 100 by default in our current implementation), the meta solver
+allocates the training iterations among search techniques to test their
+effectiveness.  After n iterations, we choose the best performing
+parameters to use for the remaining training iterations.  Crucially, the
+results of parameter search also contribute to the final training
+outcome, so no computation cycle is wasted."
+
+Evaluating a candidate = running one (simulated) training iteration with
+those parameters and measuring its duration; :func:`make_evaluator`
+builds that measurement function for a deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import typing as t
+
+from repro.errors import AutotuneError
+from repro.autotune.bandit import AUCBandit
+from repro.autotune.bayesian import BayesianOptimization
+from repro.autotune.grid import GridSearch
+from repro.autotune.hyperband import Hyperband
+from repro.autotune.pbt import PopulationBasedTraining
+from repro.autotune.space import ParameterPoint, SearchSpace
+from repro.autotune.techniques import SearchTechnique
+
+
+logger = logging.getLogger("repro.autotune")
+
+
+@dataclasses.dataclass(frozen=True)
+class Trial:
+    """One warm-up iteration: who proposed what, and how it fared."""
+
+    index: int
+    technique: str
+    point: ParameterPoint
+    cost_s: float
+    new_global_best: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a tuning run."""
+
+    best_point: ParameterPoint
+    best_cost_s: float
+    trials: tuple[Trial, ...]
+
+    @property
+    def technique_usage(self) -> dict[str, int]:
+        usage: dict[str, int] = {}
+        for trial in self.trials:
+            usage[trial.technique] = usage.get(trial.technique, 0) + 1
+        return usage
+
+
+def default_ensemble(space: SearchSpace, seed: int = 0
+                     ) -> list[SearchTechnique]:
+    """The paper's four-technique ensemble."""
+    return [
+        GridSearch(space),
+        PopulationBasedTraining(space, seed=seed),
+        BayesianOptimization(space, seed=seed + 1),
+        Hyperband(space, seed=seed + 2),
+    ]
+
+
+class AutoTuner:
+    """MAB-scheduled ensemble search within a warm-up budget."""
+
+    def __init__(self, space: SearchSpace | None = None,
+                 techniques: t.Sequence[SearchTechnique] | None = None,
+                 budget: int = 100, window: int = 20,
+                 exploration: float = 0.2, seed: int = 0,
+                 initial_point: ParameterPoint | None = None) -> None:
+        if budget < 1:
+            raise AutotuneError("budget must be >= 1")
+        self.space = space or SearchSpace()
+        self.techniques = list(techniques) if techniques is not None \
+            else default_ensemble(self.space, seed=seed)
+        if not self.techniques:
+            raise AutotuneError("need at least one search technique")
+        self.budget = budget
+        self.bandit = AUCBandit([t_.name for t_ in self.techniques],
+                                window=window, exploration=exploration)
+        #: Starting point from the settings cache (paper: previously found
+        #: best for a similar deployment "to boost the search").
+        self.initial_point = initial_point
+
+    def tune(self, evaluate: t.Callable[[ParameterPoint], float]
+             ) -> TuneResult:
+        """Run the warm-up phase; returns the best point found."""
+        by_name = {t_.name: t_ for t_ in self.techniques}
+        best_point: ParameterPoint | None = None
+        best_cost = float("inf")
+        trials: list[Trial] = []
+
+        def record(index: int, name: str, point: ParameterPoint,
+                   cost: float) -> None:
+            nonlocal best_point, best_cost
+            if cost < 0:
+                raise AutotuneError(
+                    f"evaluator returned negative cost {cost}"
+                )
+            improved = cost < best_cost
+            if improved:
+                best_point, best_cost = point, cost
+            if name in self.bandit.techniques:
+                self.bandit.reward(name, improved)
+            trials.append(Trial(index, name, point, cost, improved))
+            if improved:
+                logger.debug(
+                    "trial %d (%s): new best %.4fs at %d streams / "
+                    "%.0f MB / %s", index, name, cost,
+                    point.num_streams, point.granularity_bytes / 1e6,
+                    point.algorithm)
+
+        start = 0
+        if self.initial_point is not None:
+            # The cached setting gets the first iteration: a good prior
+            # becomes the early global best the ensemble must beat.
+            record(0, "cache", self.initial_point,
+                   evaluate(self.initial_point))
+            start = 1
+
+        for index in range(start, self.budget):
+            name = self.bandit.select()
+            technique = by_name[name]
+            point = technique.propose()
+            cost = evaluate(point)
+            technique.observe(point, cost)
+            record(index, name, point, cost)
+
+        assert best_point is not None  # budget >= 1 guarantees a trial
+        return TuneResult(best_point=best_point, best_cost_s=best_cost,
+                          trials=tuple(trials))
+
+
+def make_evaluator(model: str, num_gpus: int,
+                   batch_per_gpu: int | None = None,
+                   transport: t.Any = None,
+                   nic_bandwidth_bps: float = 30e9
+                   ) -> t.Callable[[ParameterPoint], float]:
+    """Build the cost function: one simulated iteration's duration.
+
+    Each call constructs a fresh deployment with the candidate's
+    parameters and measures a single steady-state training iteration —
+    the analogue of the paper's measure-one-warm-up-iteration protocol.
+    """
+    from repro.core.runtime import AIACCConfig
+    from repro.frameworks import make_backend
+    from repro.sim.tcp import TCP
+    from repro.training.trainer import run_training
+
+    def evaluate(point: ParameterPoint) -> float:
+        config = AIACCConfig(
+            num_streams=point.num_streams,
+            granularity_bytes=point.granularity_bytes,
+            algorithm=point.algorithm,
+        )
+        result = run_training(
+            model, make_backend("aiacc", config=config), num_gpus,
+            batch_per_gpu=batch_per_gpu,
+            measure_iterations=1, warmup_iterations=0,
+            transport=transport or TCP,
+            nic_bandwidth_bps=nic_bandwidth_bps,
+        )
+        return result.mean_iteration_s
+
+    return evaluate

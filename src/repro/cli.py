@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Print the paper's Table I from the model registry.
+``train``
+    Measure one training deployment (model x backend x GPUs).
+``bench``
+    Run a named paper experiment and print its table.
+``tune``
+    Run the Section VI auto-tuner on a deployment.
+``translate``
+    Port a Horovod or sequential training script to the Perseus API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import typing as t
+
+from repro.errors import ReproError
+
+#: Experiment name -> harness function (resolved lazily).
+EXPERIMENTS = (
+    "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "scaling", "ctr", "dawnbench", "autotune", "bandwidth", "congested",
+    "insightface", "futuregpu",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIACC-Training reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I (model characteristics)")
+
+    train = sub.add_parser("train", help="measure one deployment")
+    train.add_argument("--model", default="resnet50")
+    train.add_argument("--backend", default="aiacc",
+                       help="aiacc|horovod|pytorch-ddp|byteps|mxnet-kvstore")
+    train.add_argument("--gpus", type=int, default=32)
+    train.add_argument("--batch", type=int, default=None)
+    train.add_argument("--rdma", action="store_true",
+                       help="use the RDMA transport (100 Gbps)")
+    train.add_argument("--streams", type=int, default=None,
+                       help="AIACC stream count (default: tuned heuristic)")
+    train.add_argument("--granularity-mb", type=float, default=None,
+                       help="AIACC unit granularity in MB")
+
+    bench = sub.add_parser("bench", help="run a paper experiment")
+    bench.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+
+    tune = sub.add_parser("tune", help="run the §VI auto-tuner")
+    tune.add_argument("--model", default="resnet50")
+    tune.add_argument("--gpus", type=int, default=64)
+    tune.add_argument("--budget", type=int, default=40)
+    tune.add_argument("--seed", type=int, default=0)
+
+    translate = sub.add_parser("translate",
+                               help="port a script to the Perseus API")
+    translate.add_argument("script", type=pathlib.Path)
+    translate.add_argument("--mode", choices=("horovod", "sequential"),
+                           default="horovod")
+    translate.add_argument("--workers", type=int, default=8)
+    translate.add_argument("--output", type=pathlib.Path, default=None,
+                           help="write here instead of stdout")
+
+    return parser
+
+
+# -- command implementations ---------------------------------------------------
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.harness import format_table
+    from repro.models import table1
+
+    print(format_table(table1(), title="Table I: DNN model characteristics"))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.frameworks import make_backend
+    from repro.harness import tuned_aiacc_config
+    from repro.sim.rdma import RDMA, RDMA_DEFAULT_BANDWIDTH_BPS
+    from repro.sim.tcp import TCP
+    from repro.training.trainer import run_training
+
+    transport = RDMA if args.rdma else TCP
+    nic = RDMA_DEFAULT_BANDWIDTH_BPS if args.rdma else 30e9
+    backend: t.Any = args.backend
+    if args.backend == "aiacc":
+        config = tuned_aiacc_config(args.model, args.gpus)
+        overrides: dict[str, t.Any] = {}
+        if args.streams is not None:
+            overrides["num_streams"] = args.streams
+        if args.granularity_mb is not None:
+            overrides["granularity_bytes"] = args.granularity_mb * 1e6
+        if overrides:
+            config = config.replace(**overrides)
+        backend = make_backend("aiacc", config=config)
+    result = run_training(args.model, backend, args.gpus,
+                          batch_per_gpu=args.batch,
+                          transport=transport, nic_bandwidth_bps=nic)
+    print(f"model:              {result.model}")
+    print(f"backend:            {result.backend}")
+    print(f"GPUs:               {result.num_gpus}")
+    print(f"batch/GPU:          {result.batch_per_gpu}")
+    print(f"iteration time:     {result.mean_iteration_s * 1e3:.2f} ms")
+    print(f"throughput:         {result.throughput:,.0f} "
+          f"{result.sample_unit}/s")
+    print(f"scaling efficiency: {result.scaling_efficiency:.3f}")
+    print(f"exposed comm:       {result.exposed_comm_s * 1e3:.2f} ms/iter")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro import harness
+    from repro.harness import ascii_chart, format_table, save_report
+
+    #: Optional bar-chart rendering: name -> (label_key, value_keys).
+    charts: dict[str, tuple[str, list[str]]] = {
+        "fig2": ("gpus", ["horovod_throughput", "linear_throughput"]),
+        "fig13": ("gpus", ["aiacc", "mxnet-kvstore"]),
+        "fig14": ("batch_per_gpu", ["speedup"]),
+        "fig15": ("model", ["speedup"]),
+        "bandwidth": ("streams", ["utilization"]),
+        "congested": ("scenario", ["hierarchical_speedup"]),
+    }
+
+    runners: dict[str, tuple[t.Callable[[], list], str]] = {
+        "fig2": (harness.fig2_motivation, "Fig. 2: Horovod vs linear"),
+        "fig9": (harness.fig9_cv_pytorch, "Fig. 9: PyTorch CV"),
+        "fig10": (harness.fig10_nlp_pytorch, "Fig. 10: PyTorch NLP"),
+        "fig11": (harness.fig11_tensorflow, "Fig. 11: TensorFlow"),
+        "fig12": (harness.fig12_mxnet, "Fig. 12: MXNet"),
+        "fig13": (harness.fig13_hybrid, "Fig. 13: hybrid parallelism"),
+        "fig14": (harness.fig14_batchsize, "Fig. 14: batch size"),
+        "fig15": (harness.fig15_rdma, "Fig. 15: RDMA"),
+        "scaling": (harness.scaling_efficiency_summary,
+                    "Scaling efficiency (§VIII-A)"),
+        "ctr": (harness.ctr_production, "CTR production (§VIII-C)"),
+        "dawnbench": (harness.dawnbench, "DAWNBench (§VIII-C)"),
+        "autotune": (harness.autotune_parameters,
+                     "Auto-tuned parameters (§VIII-D)"),
+        "bandwidth": (harness.bandwidth_utilization,
+                      "TCP utilisation (§III)"),
+        "congested": (harness.congested_algorithm_choice,
+                      "Algorithm choice under congestion (§V-B)"),
+        "insightface": (harness.insightface_speedup,
+                        "InsightFace face recognition (§VIII-C)"),
+        "futuregpu": (harness.future_gpu_whatif,
+                      "Future-GPU what-if (§VIII-A)"),
+    }
+    names = list(runners) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, title = runners[name]
+        rows = runner()
+        table = format_table(rows, title=title)
+        save_report(name, table)
+        print(table)
+        if name in charts:
+            label_key, value_keys = charts[name]
+            print()
+            print(ascii_chart(rows, label_key, value_keys))
+        print()
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.autotune import AutoTuner, make_evaluator
+    from repro.harness import format_table
+
+    tuner = AutoTuner(budget=args.budget, seed=args.seed)
+    result = tuner.tune(make_evaluator(args.model, args.gpus))
+    best = result.best_point
+    print(f"best setting for {args.model} on {args.gpus} GPUs:")
+    print(f"  streams:     {best.num_streams}")
+    print(f"  granularity: {best.granularity_bytes / 1e6:.0f} MB")
+    print(f"  algorithm:   {best.algorithm}")
+    print(f"  iteration:   {result.best_cost_s * 1e3:.2f} ms")
+    usage = [{"technique": name, "iterations": count}
+             for name, count in sorted(result.technique_usage.items())]
+    print(format_table(usage, title="warm-up budget allocation"))
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    from repro.core.translator import (
+        translate_horovod_source,
+        translate_sequential_source,
+    )
+
+    source = args.script.read_text()
+    if args.mode == "horovod":
+        out = translate_horovod_source(source)
+    else:
+        out = translate_sequential_source(source,
+                                          num_workers=args.workers)
+    if args.output is not None:
+        args.output.write_text(out)
+        print(f"wrote {args.output}")
+    else:
+        print(out)
+    return 0
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": cmd_table1,
+        "train": cmd_train,
+        "bench": cmd_bench,
+        "tune": cmd_tune,
+        "translate": cmd_translate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

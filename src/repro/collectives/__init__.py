@@ -1,0 +1,84 @@
+"""Collective communication: numeric algorithms and timed execution.
+
+Every collective has two coupled faces:
+
+* **numeric** — exchanges real numpy chunks through the simulated MPI
+  layer; results are verifiable against the mathematical reduction
+  (property-based tests in ``tests/collectives``);
+* **timed** — places the algorithm's transport streams as flows on the
+  fluid network model, producing completion times that reflect per-stream
+  caps and contention.
+"""
+
+from repro.collectives.alltoall import (
+    alltoall,
+    alltoall_worker,
+    gather,
+    gather_worker,
+    reduce,
+    reduce_worker,
+    scatter,
+    scatter_worker,
+)
+from repro.collectives.broadcast import broadcast, broadcast_worker
+from repro.collectives.cost_model import (
+    CostParams,
+    broadcast_time_s,
+    hierarchical_allreduce_time_s,
+    ring_allreduce_time_s,
+    ring_volume_bytes,
+)
+from repro.collectives.hierarchical import (
+    hierarchical_allreduce,
+    hierarchical_allreduce_worker,
+)
+from repro.collectives.primitives import (
+    ReduceOp,
+    apply_op,
+    chunk_bounds,
+    concat_chunks,
+    finalize_op,
+    split_chunks,
+)
+from repro.collectives.ring import ring_allreduce, ring_allreduce_worker
+from repro.collectives.scatter_gather import (
+    allgather,
+    allgather_worker,
+    reduce_scatter,
+    reduce_scatter_worker,
+)
+from repro.collectives.timed import ALGORITHMS, TimedCollectives
+
+__all__ = [
+    "ALGORITHMS",
+    "CostParams",
+    "ReduceOp",
+    "TimedCollectives",
+    "allgather",
+    "allgather_worker",
+    "alltoall",
+    "alltoall_worker",
+    "gather",
+    "gather_worker",
+    "reduce",
+    "reduce_worker",
+    "scatter",
+    "scatter_worker",
+    "apply_op",
+    "broadcast",
+    "broadcast_time_s",
+    "broadcast_worker",
+    "chunk_bounds",
+    "concat_chunks",
+    "finalize_op",
+    "hierarchical_allreduce",
+    "hierarchical_allreduce_time_s",
+    "hierarchical_allreduce_worker",
+    "reduce_scatter",
+    "reduce_scatter_worker",
+    "ring_allreduce",
+    "ring_allreduce_time_s",
+    "ring_allreduce_worker",
+    "ring_volume_bytes",
+    "split_chunks",
+]

@@ -1,0 +1,119 @@
+"""Analytic α–β cost models for the collective algorithms.
+
+These closed-form estimates serve three purposes:
+
+1. sanity checks for the flow-level simulation (tests compare both);
+2. fast candidate scoring inside the auto-tuner's search techniques;
+3. documentation of the communication volumes used by the timed executor.
+
+Notation: ``S`` bytes reduced over ``n`` workers on ``m`` nodes with ``g``
+GPUs per node; β terms are bandwidth (bits/s), α terms per-message latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CollectiveError
+
+
+@dataclasses.dataclass(frozen=True)
+class CostParams:
+    """Bandwidth/latency description of one deployment."""
+
+    world_size: int
+    num_nodes: int
+    #: Bandwidth available to one stream crossing the NIC (bits/s).
+    nic_stream_bps: float
+    #: Aggregate usable NIC bandwidth (bits/s).
+    nic_total_bps: float
+    #: Per-GPU NVLink bandwidth (bits/s).
+    nvlink_bps: float
+    #: Per-message overhead on the inter-node path (s).
+    inter_alpha_s: float
+    #: Per-message overhead on the intra-node path (s).
+    intra_alpha_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1 or self.num_nodes < 1:
+            raise CollectiveError("world_size and num_nodes must be >= 1")
+        if self.world_size % self.num_nodes != 0:
+            raise CollectiveError("world_size must divide across nodes evenly")
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.world_size // self.num_nodes
+
+
+def ring_volume_bytes(size_bytes: float, participants: int) -> float:
+    """Bytes crossing each ring hop for an all-reduce of ``size_bytes``."""
+    if participants < 1:
+        raise CollectiveError("participants must be >= 1")
+    if participants == 1:
+        return 0.0
+    return 2.0 * size_bytes * (participants - 1) / participants
+
+
+def ring_allreduce_time_s(size_bytes: float, params: CostParams,
+                          streams: int = 1) -> float:
+    """Time for a flat topology-aware ring all-reduce of ``size_bytes``.
+
+    ``streams`` > 1 models AIACC's multi-streamed mode where the unit's
+    traffic effectively enjoys the bandwidth of ``streams`` capped
+    connections (up to the aggregate NIC limit); used only for analytic
+    tuning — the simulator models streams explicitly.
+    """
+    n = params.world_size
+    m = params.num_nodes
+    if n == 1:
+        return 0.0
+    hop_bytes = ring_volume_bytes(size_bytes, n)
+    steps = 2 * (n - 1)
+    alpha = steps * (params.inter_alpha_s if m > 1 else params.intra_alpha_s)
+    if m == 1:
+        return hop_bytes * 8.0 / params.nvlink_bps + alpha
+    bandwidth = min(params.nic_stream_bps * streams, params.nic_total_bps)
+    nic_time = hop_bytes * 8.0 / bandwidth
+    nvlink_time = hop_bytes * 8.0 / params.nvlink_bps
+    return max(nic_time, nvlink_time) + alpha
+
+
+def hierarchical_allreduce_time_s(size_bytes: float,
+                                  params: CostParams) -> float:
+    """Time for the hierarchical (intra-ring + inter-ring) all-reduce.
+
+    Phase 2 runs ``g`` parallel inter-node rings (one per local rank), each
+    carrying a ``1/g`` shard, so it naturally uses ``g`` streams.
+    """
+    n = params.world_size
+    m = params.num_nodes
+    g = params.gpus_per_node
+    if n == 1:
+        return 0.0
+    if m == 1 or g == 1:
+        return ring_allreduce_time_s(size_bytes, params)
+
+    # Phase 1 (reduce-scatter) + phase 3 (all-gather) over NVLink.
+    intra_bytes = 2.0 * size_bytes * (g - 1) / g
+    intra_time = intra_bytes * 8.0 / params.nvlink_bps
+    intra_alpha = 2 * (g - 1) * params.intra_alpha_s
+
+    # Phase 2: g parallel rings of m nodes, each reducing S/g bytes.
+    shard = size_bytes / g
+    hop_bytes = ring_volume_bytes(shard, m)
+    bandwidth = min(params.nic_stream_bps * g, params.nic_total_bps) / g
+    inter_time = hop_bytes * 8.0 / bandwidth
+    inter_alpha = 2 * (m - 1) * params.inter_alpha_s
+
+    return intra_time + intra_alpha + inter_time + inter_alpha
+
+
+def broadcast_time_s(size_bytes: float, params: CostParams) -> float:
+    """Pipelined ring broadcast of ``size_bytes`` to all workers."""
+    if params.world_size == 1:
+        return 0.0
+    if params.num_nodes == 1:
+        return size_bytes * 8.0 / params.nvlink_bps + \
+            params.world_size * params.intra_alpha_s
+    return size_bytes * 8.0 / params.nic_stream_bps + \
+        params.num_nodes * params.inter_alpha_s

@@ -1,0 +1,116 @@
+"""Numeric reduce-scatter and all-gather.
+
+These are the two halves of the ring all-reduce (paper Fig. 1a/1b),
+exposed separately because AIACC-Training "utilizes and extends the
+collective communication primitives (like all-reduce, broadcast, and
+scatter)" (Section V-B) and the hybrid-parallelism path uses them
+directly.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.errors import CollectiveError
+from repro.collectives.primitives import (
+    ReduceOp,
+    apply_op,
+    chunk_bounds,
+    finalize_op,
+)
+from repro.collectives.runner import run_workers
+from repro.sim.kernel import Simulator
+from repro.sim.mpi import Communicator
+
+_TAG_RS = 6 << 20
+_TAG_AG = 7 << 20
+
+
+def reduce_scatter_worker(
+    sim: Simulator,
+    comm: Communicator,
+    rank: int,
+    data: np.ndarray,
+    op: ReduceOp = ReduceOp.SUM,
+) -> t.Generator:
+    """Ring reduce-scatter; returns this worker's fully reduced chunk.
+
+    Worker ``r`` ends up owning chunk ``(r + 1) mod n`` of the reduction —
+    the same ownership convention as :mod:`repro.collectives.ring`.
+    """
+    n = comm.size
+    if n == 1:
+        return finalize_op(op, data.copy(), 1)
+        yield  # pragma: no cover
+    work = data.copy()
+    bounds = chunk_bounds(len(work), n)
+    predecessor, successor = comm.ring_neighbors(rank)
+    for step in range(n - 1):
+        send_idx = (rank - step) % n
+        recv_idx = (rank - step - 1) % n
+        lo, hi = bounds[send_idx]
+        comm.send(rank, successor, work[lo:hi].copy(),
+                  nbytes=(hi - lo) * work.itemsize, tag=_TAG_RS + step)
+        incoming = yield comm.recv(rank, predecessor, tag=_TAG_RS + step)
+        lo, hi = bounds[recv_idx]
+        work[lo:hi] = apply_op(op, work[lo:hi], incoming)
+    lo, hi = bounds[(rank + 1) % n]
+    return finalize_op(op, work[lo:hi].copy(), n)
+
+
+def allgather_worker(
+    sim: Simulator,
+    comm: Communicator,
+    rank: int,
+    chunk: np.ndarray,
+) -> t.Generator:
+    """Ring all-gather; returns the list of every worker's chunk, by rank."""
+    n = comm.size
+    if n == 1:
+        return [chunk.copy()]
+        yield  # pragma: no cover
+    predecessor, successor = comm.ring_neighbors(rank)
+    gathered: list[np.ndarray | None] = [None] * n
+    gathered[rank] = chunk.copy()
+    holding = rank
+    for step in range(n - 1):
+        payload = gathered[holding]
+        comm.send(rank, successor, (holding, payload),
+                  nbytes=t.cast(np.ndarray, payload).nbytes + 8,
+                  tag=_TAG_AG + step)
+        origin, incoming = yield comm.recv(rank, predecessor,
+                                           tag=_TAG_AG + step)
+        gathered[origin] = incoming
+        holding = origin
+    if any(part is None for part in gathered):
+        raise CollectiveError("all-gather finished with missing chunks")
+    return t.cast(list, gathered)
+
+
+def reduce_scatter(arrays: t.Sequence[np.ndarray],
+                   op: ReduceOp = ReduceOp.SUM) -> list[np.ndarray]:
+    """Run a ring reduce-scatter; returns each worker's owned chunk."""
+    if not arrays:
+        raise CollectiveError("reduce_scatter requires at least one array")
+    sim = Simulator()
+    comm = Communicator(sim, size=len(arrays))
+    processes = [
+        sim.spawn(reduce_scatter_worker(sim, comm, rank, array, op=op))
+        for rank, array in enumerate(arrays)
+    ]
+    return [t.cast(np.ndarray, r) for r in run_workers(sim, processes)]
+
+
+def allgather(chunks: t.Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    """Run a ring all-gather; returns, per worker, all workers' chunks."""
+    if not chunks:
+        raise CollectiveError("allgather requires at least one chunk")
+    sim = Simulator()
+    comm = Communicator(sim, size=len(chunks))
+    processes = [
+        sim.spawn(allgather_worker(sim, comm, rank, chunk))
+        for rank, chunk in enumerate(chunks)
+    ]
+    return [t.cast(list, r) for r in run_workers(sim, processes)]

@@ -1,0 +1,269 @@
+"""Timed collective execution over the simulated network.
+
+This is the bridge between the collective algorithms and the fluid network
+model.  A timed all-reduce creates the flows its algorithm would place on
+the cluster links (each flow is one transport stream, subject to the
+per-stream rate cap) and completes when the slowest flow drains plus the
+α/pipeline-fill latency of the ring schedule.
+
+Symmetric clusters run in **representative mode**: only node 0's NIC pair
+and NVLink fabric are simulated.  By symmetry every other NIC would carry
+exactly the same flow set at exactly the same rates, so the representative
+rates — and therefore all completion times — are exact while the event
+count drops by a factor of ``num_nodes``.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import CollectiveError
+from repro.collectives.cost_model import ring_volume_bytes
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.network import FluidNetwork, Link
+from repro.sim.topology import Cluster
+from repro.sim.tracing import Trace
+
+#: Supported all-reduce algorithm names (paper Section V-B).
+ALGORITHMS = ("ring", "hierarchical")
+
+#: Device-wide synchronization between the hierarchical algorithm's three
+#: phases.  Every GPU of a node must finish phase k before phase k+1 may
+#: launch; under backward-pass SM occupancy this event sync costs about a
+#: millisecond — the overhead that makes the auto-tuner prefer the flat
+#: ring on healthy networks (paper §VIII-D) while the hierarchical
+#: algorithm still wins on congested links, where its bandwidth shape
+#: matters more.
+HIERARCHICAL_PHASE_SYNC_S = 2e-3
+
+
+class TimedCollectives:
+    """Schedules timed collectives on a cluster.
+
+    Parameters
+    ----------
+    sim, network, cluster:
+        The simulation context.
+    representative:
+        Force representative mode on (True) / off (False); default:
+        automatic — on for symmetric clusters.
+    """
+
+    def __init__(self, sim: Simulator, network: FluidNetwork,
+                 cluster: Cluster, trace: Trace | None = None,
+                 representative: bool | None = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.cluster = cluster
+        self.trace = trace or Trace(enabled=False)
+        if representative is None:
+            representative = cluster.is_symmetric
+        if representative and not cluster.is_symmetric:
+            raise CollectiveError(
+                "representative mode requires a symmetric cluster"
+            )
+        self.representative = representative
+
+    # -- public API -------------------------------------------------------
+
+    def allreduce(self, size_bytes: float, algorithm: str = "ring",
+                  cap_scale: float = 1.0) -> Event:
+        """Start a timed all-reduce of ``size_bytes`` across all workers.
+
+        Parameters
+        ----------
+        algorithm:
+            ``"ring"`` — flat topology-aware ring over all GPUs;
+            ``"hierarchical"`` — intra-node reduce-scatter, ``g`` parallel
+            inter-node rings, intra-node all-gather.
+        cap_scale:
+            Multiplier on the transport's per-stream rate cap.  1.0 models
+            a well-tuned stack (Horovod's documented NCCL socket tuning);
+            PyTorch-DDP v1.10 shipped with NCCL's default socket
+            configuration and reaches a lower single-stream ceiling, which
+            its backend models with ``cap_scale < 1``.
+
+        Returns an event triggering at completion; its value is the
+        duration in seconds.
+        """
+        if algorithm not in ALGORITHMS:
+            raise CollectiveError(
+                f"unknown all-reduce algorithm {algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
+        if size_bytes < 0:
+            raise CollectiveError("size_bytes must be non-negative")
+        if not 0 < cap_scale <= 1:
+            raise CollectiveError("cap_scale must be in (0, 1]")
+        start = self.sim.now
+        if algorithm == "ring":
+            inner = self._ring(size_bytes, cap_scale)
+        else:
+            inner = self._hierarchical(size_bytes, cap_scale)
+
+        done = self.sim.event(name=f"allreduce.{algorithm}")
+
+        def _finish(_ev: Event) -> None:
+            duration = self.sim.now - start
+            self.trace.add_span("allreduce", start, self.sim.now,
+                                bytes=size_bytes, algorithm=algorithm)
+            self.trace.incr("allreduce.count")
+            self.trace.incr("allreduce.bytes", size_bytes)
+            done.succeed(duration)
+
+        inner.add_callback(_finish)
+        return done
+
+    def control_roundtrip(self, payload_bytes: float = 64.0) -> Event:
+        """A decentralized control-plane ring pass (readiness bit vector).
+
+        AIACC's gradient synchronization all-reduces an ``n``-bit vector
+        among the MPI daemons (paper Fig. 8b).  The payload is tiny, so the
+        cost is pure latency: ``2 (m - 1)`` inter-node hops.
+        """
+        m = self.cluster.num_nodes
+        spec = self.cluster.spec
+        if m == 1:
+            delay = 2 * max(spec.gpus_per_node - 1, 1) * \
+                spec.intra_node_latency_s
+        else:
+            per_hop = spec.inter_node_latency_s + \
+                spec.transport.per_message_overhead_s
+            delay = 2 * (m - 1) * per_hop
+            delay += payload_bytes * 8.0 * 2 * (m - 1) / \
+                self.cluster.stream_cap_bps()
+        return self.sim.timeout(delay)
+
+    def broadcast(self, size_bytes: float) -> Event:
+        """Timed pipelined broadcast from rank 0 to all workers."""
+        m = self.cluster.num_nodes
+        if m == 1:
+            flow = self.network.start_flow(
+                [self.cluster.nvlink[0]], size_bytes)
+            return flow
+        flows = [self.network.start_flow(
+            hop, size_bytes,
+            rate_cap_bps=self.cluster.stream_cap_bps(src_node))
+            for src_node, hop in self._nic_hops()]
+        return self.sim.all_of(flows)
+
+    # -- algorithm schedules -------------------------------------------------
+
+    def _nic_hops(self) -> list[tuple[int, list[Link]]]:
+        """Directed inter-node NIC hops of the node-level ring.
+
+        Returns ``(source_node, links)`` pairs; the source node determines
+        the per-stream rate cap (a congested node's NIC caps lower).
+        """
+        m = self.cluster.num_nodes
+        if self.representative:
+            return [(0, self.cluster.representative_hop())]
+        core = [self.cluster.core] if self.cluster.core is not None else []
+        return [
+            (i, [self.cluster.nic_out[i], *core,
+                 self.cluster.nic_in[(i + 1) % m]])
+            for i in range(m)
+        ]
+
+    def _nvlink_fabrics(self) -> list[Link]:
+        if self.representative:
+            return [self.cluster.nvlink[0]]
+        return list(self.cluster.nvlink)
+
+    def _ring(self, size_bytes: float, cap_scale: float = 1.0) -> Event:
+        """Flat topology-aware ring across all ``n`` GPUs."""
+        n = self.cluster.world_size
+        m = self.cluster.num_nodes
+        spec = self.cluster.spec
+        if n == 1:
+            return self.sim.timeout(0.0)
+        hop_bytes = ring_volume_bytes(size_bytes, n)
+        steps = 2 * (n - 1)
+
+        flows: list[Event] = []
+        if m > 1:
+            # Per-chunk software overhead is pipelined behind chunk
+            # transmission: only the part exceeding the chunk's wire time
+            # is exposed on the critical path.  Small units at large n
+            # (tiny chunks) therefore pay the overhead; big fusion
+            # buffers hide it.
+            cap = self.cluster.stream_cap_bps() * cap_scale
+            chunk_tx = (size_bytes / n) * 8.0 / cap
+            exposed = max(0.0,
+                          spec.transport.per_message_overhead_s - chunk_tx)
+            alpha = steps * exposed
+            fill = m * spec.inter_node_latency_s + \
+                (n - m) * spec.intra_node_latency_s
+            for src_node, hop in self._nic_hops():
+                cap = self.cluster.stream_cap_bps(src_node) * cap_scale
+                flows.append(self.network.start_flow(
+                    hop, hop_bytes, rate_cap_bps=cap))
+            if spec.gpus_per_node > 1:
+                for fabric in self._nvlink_fabrics():
+                    flows.append(self.network.start_flow(
+                        [fabric], hop_bytes))
+        else:
+            alpha = steps * spec.intra_node_latency_s
+            fill = 0.0
+            for fabric in self._nvlink_fabrics():
+                flows.append(self.network.start_flow([fabric], hop_bytes))
+
+        all_flows = self.sim.all_of(flows)
+        return self._after(all_flows, alpha + fill)
+
+    def _hierarchical(self, size_bytes: float,
+                      cap_scale: float = 1.0) -> Event:
+        """Intra-node RS, g parallel inter-node rings, intra-node AG."""
+        m = self.cluster.num_nodes
+        g = self.cluster.spec.gpus_per_node
+        if m == 1 or g == 1:
+            return self._ring(size_bytes, cap_scale)
+        spec = self.cluster.spec
+
+        def schedule() -> t.Generator:
+            # Phase 1: intra-node reduce-scatter.
+            rs_bytes = size_bytes * (g - 1) / g
+            yield self.sim.all_of([
+                self.network.start_flow([fabric], rs_bytes)
+                for fabric in self._nvlink_fabrics()
+            ])
+            yield self.sim.timeout((g - 1) * spec.intra_node_latency_s
+                                   + HIERARCHICAL_PHASE_SYNC_S)
+
+            # Phase 2: g parallel inter-node rings on 1/g shards.
+            shard_hop = ring_volume_bytes(size_bytes / g, m)
+            flows = []
+            for src_node, hop in self._nic_hops():
+                cap = self.cluster.stream_cap_bps(src_node) * cap_scale
+                for _local in range(g):
+                    flows.append(self.network.start_flow(
+                        hop, shard_hop, rate_cap_bps=cap))
+            yield self.sim.all_of(flows)
+            shard_chunk_tx = (size_bytes / g / m) * 8.0 / \
+                (self.cluster.stream_cap_bps() * cap_scale)
+            exposed = max(0.0, spec.transport.per_message_overhead_s
+                          - shard_chunk_tx)
+            yield self.sim.timeout(
+                2 * (m - 1) * (spec.inter_node_latency_s + exposed)
+                + HIERARCHICAL_PHASE_SYNC_S)
+
+            # Phase 3: intra-node all-gather.
+            ag_bytes = size_bytes * (g - 1) / g
+            yield self.sim.all_of([
+                self.network.start_flow([fabric], ag_bytes)
+                for fabric in self._nvlink_fabrics()
+            ])
+            yield self.sim.timeout((g - 1) * spec.intra_node_latency_s)
+
+        return self.sim.spawn(schedule(), name="hier.allreduce")
+
+    def _after(self, event: Event, extra_delay_s: float) -> Event:
+        """An event firing ``extra_delay_s`` after ``event`` triggers."""
+        done = self.sim.event(name="after")
+
+        def _chain(_ev: Event) -> None:
+            self.sim._schedule_at(self.sim.now + extra_delay_s, done, None)
+
+        event.add_callback(_chain)
+        return done

@@ -1,0 +1,76 @@
+"""Debugging support: NaN detection and gradient statistics (paper §IV).
+
+"It offers debugging support like identifying NaN (not a number) values
+from individual gradients - a headache for many users during DDL."
+
+The key property is *attribution*: instead of the loss silently becoming
+NaN three layers later, the check fires on the exact parameter and worker
+that produced the first non-finite gradient.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import NaNGradientError
+
+
+def check_finite(name: str, gradient: np.ndarray, worker_rank: int) -> None:
+    """Raise :class:`NaNGradientError` if ``gradient`` has NaN/Inf values."""
+    if not np.all(np.isfinite(gradient)):
+        raise NaNGradientError(name, worker_rank)
+
+
+@dataclasses.dataclass
+class GradientStats:
+    """Running statistics of one parameter's gradients."""
+
+    updates: int = 0
+    last_norm: float = 0.0
+    max_abs: float = 0.0
+    nan_count: int = 0
+
+    def observe(self, gradient: np.ndarray) -> None:
+        self.updates += 1
+        finite = gradient[np.isfinite(gradient)]
+        self.nan_count += int(gradient.size - finite.size)
+        if finite.size:
+            self.last_norm = float(np.linalg.norm(finite))
+            self.max_abs = max(self.max_abs, float(np.max(np.abs(finite))))
+
+
+class GradientDebugger:
+    """Per-parameter gradient monitor with optional strict NaN checking."""
+
+    def __init__(self, nan_check: bool = True,
+                 explosion_threshold: float = 1e4) -> None:
+        self.nan_check = nan_check
+        #: Gradient-norm level above which :meth:`warnings` flags a tensor.
+        self.explosion_threshold = explosion_threshold
+        self.stats: dict[str, GradientStats] = {}
+
+    def observe(self, name: str, gradient: np.ndarray,
+                worker_rank: int = 0) -> None:
+        """Record one gradient; raises on NaN when strict checking is on."""
+        if self.nan_check:
+            check_finite(name, gradient, worker_rank)
+        self.stats.setdefault(name, GradientStats()).observe(gradient)
+
+    def warnings(self) -> list[str]:
+        """Human-readable anomaly report (NaNs seen, exploding norms)."""
+        issues = []
+        for name, stat in sorted(self.stats.items()):
+            if stat.nan_count:
+                issues.append(
+                    f"{name}: {stat.nan_count} non-finite values observed"
+                )
+            if stat.last_norm > self.explosion_threshold or \
+                    math.isinf(stat.last_norm):
+                issues.append(
+                    f"{name}: gradient norm {stat.last_norm:.3g} exceeds "
+                    f"{self.explosion_threshold:g}"
+                )
+        return issues

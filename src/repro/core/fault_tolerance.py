@@ -1,0 +1,156 @@
+"""Fault tolerance and elastic deployment (paper §IV).
+
+"As a production library, AIACC-Training also provides fault-tolerance to
+restart the training process from the last checkpoint upon node failure
+and elastic deployment by propagating training parameters into newly
+added computing nodes."
+
+:class:`CheckpointManager` persists model/optimizer state atomically and
+restores the most recent valid checkpoint.  :class:`ElasticCoordinator`
+manages the worker set: on failure it shrinks the group and restores from
+checkpoint; on scale-up it broadcasts the live parameters to joiners (no
+checkpoint round-trip needed).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.collectives.broadcast import broadcast as numeric_broadcast
+
+State = t.Dict[str, np.ndarray]
+
+
+class CheckpointManager:
+    """Atomic on-disk checkpoints of training state."""
+
+    def __init__(self, directory: str | pathlib.Path,
+                 keep_last: int = 3) -> None:
+        if keep_last < 1:
+            raise CheckpointError("keep_last must be >= 1")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+
+    # -- save ------------------------------------------------------------------
+
+    def save(self, iteration: int, parameters: State,
+             optimizer_state: State | None = None,
+             metadata: t.Mapping[str, object] | None = None) -> pathlib.Path:
+        """Write checkpoint ``iteration`` atomically; prune old ones."""
+        if iteration < 0:
+            raise CheckpointError("iteration must be >= 0")
+        path = self.directory / f"ckpt-{iteration:010d}.npz"
+        tmp = path.with_suffix(".tmp.npz")
+        payload: dict[str, np.ndarray] = {
+            f"param/{k}": np.asarray(v) for k, v in parameters.items()}
+        for key, value in (optimizer_state or {}).items():
+            payload[f"opt/{key}"] = np.asarray(value)
+        payload["meta/json"] = np.frombuffer(
+            json.dumps({"iteration": iteration,
+                        **dict(metadata or {})}).encode(), dtype=np.uint8)
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        tmp.replace(path)
+        self._prune()
+        return path
+
+    # -- load ------------------------------------------------------------------
+
+    def latest(self) -> pathlib.Path | None:
+        """Path of the newest checkpoint, or None when none exist."""
+        checkpoints = sorted(self.directory.glob("ckpt-*.npz"))
+        return checkpoints[-1] if checkpoints else None
+
+    def load(self, path: pathlib.Path | None = None
+             ) -> tuple[int, State, State, dict]:
+        """Restore (iteration, parameters, optimizer_state, metadata)."""
+        target = path or self.latest()
+        if target is None:
+            raise CheckpointError(
+                f"no checkpoint found in {self.directory}"
+            )
+        try:
+            with np.load(target) as data:
+                parameters: State = {}
+                optimizer_state: State = {}
+                metadata: dict = {}
+                for key in data.files:
+                    if key.startswith("param/"):
+                        parameters[key[len("param/"):]] = data[key]
+                    elif key.startswith("opt/"):
+                        optimizer_state[key[len("opt/"):]] = data[key]
+                    elif key == "meta/json":
+                        metadata = json.loads(bytes(data[key]).decode())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {target}: {exc}") \
+                from exc
+        iteration = int(metadata.pop("iteration", 0))
+        return iteration, parameters, optimizer_state, metadata
+
+    def _prune(self) -> None:
+        checkpoints = sorted(self.directory.glob("ckpt-*.npz"))
+        for stale in checkpoints[:-self.keep_last]:
+            stale.unlink()
+
+
+class ElasticCoordinator:
+    """Tracks the live worker set and handles joins/failures."""
+
+    def __init__(self, checkpoints: CheckpointManager,
+                 initial_workers: int) -> None:
+        if initial_workers < 1:
+            raise CheckpointError("need at least one worker")
+        self.checkpoints = checkpoints
+        self.live_workers = initial_workers
+        self.restarts = 0
+        self.joins = 0
+
+    def on_failure(self, failed_workers: int = 1) -> tuple[int, State]:
+        """Shrink the group and restore state from the last checkpoint.
+
+        Returns ``(iteration, parameters)`` to resume from.  The failed
+        workers' in-flight iteration is lost — exactly the paper's
+        "restart the training process from the last checkpoint".
+        """
+        if not 0 < failed_workers < self.live_workers:
+            raise CheckpointError(
+                f"cannot lose {failed_workers} of {self.live_workers} workers"
+            )
+        self.live_workers -= failed_workers
+        self.restarts += 1
+        iteration, parameters, _, _ = self.checkpoints.load()
+        return iteration, parameters
+
+    def on_join(self, live_parameters: t.Sequence[State],
+                new_workers: int = 1) -> list[State]:
+        """Grow the group; broadcast live parameters to the joiners.
+
+        ``live_parameters`` holds each existing worker's parameter dict;
+        returns the parameter dicts of the *new total* worker set (the
+        joiners receive rank-0's state via a pipelined broadcast, no
+        checkpoint involved).
+        """
+        if new_workers < 1:
+            raise CheckpointError("new_workers must be >= 1")
+        if len(live_parameters) != self.live_workers:
+            raise CheckpointError(
+                f"expected state for {self.live_workers} live workers"
+            )
+        self.live_workers += new_workers
+        self.joins += new_workers
+        root = live_parameters[0]
+        result: list[State] = [dict(p) for p in live_parameters] + \
+            [dict() for _ in range(new_workers)]
+        for name in sorted(root):
+            slots: list[np.ndarray | None] = [None] * self.live_workers
+            slots[0] = root[name].ravel()
+            received = numeric_broadcast(slots, root=0)
+            for rank in range(len(live_parameters), self.live_workers):
+                result[rank][name] = received[rank].reshape(root[name].shape)
+        return result

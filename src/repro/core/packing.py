@@ -1,0 +1,130 @@
+"""Gradient packing: forming all-reduce units (paper §V Gradient packing).
+
+"Because the tensor size of gradients can vary, and the optimal
+communication granularity depends on the communication network, the
+AIACC-Training runtime may choose to split the tensor into multiple units
+or merge multiple tensors across multiple synchronized gradients to form
+a suitable all-reduce unit."
+
+Packing is deterministic across workers: synchronized gradients are
+processed in gradient-id order, so "all workers also implicitly agree on
+gradient communication order" without any extra coordination.
+
+Unlike Horovod's fusion buffer, units may contain *slices* of a tensor —
+a 410 MB VGG fc6 gradient becomes ~26 units of 16 MB that can ride 26
+concurrent streams instead of crawling through one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import PackingError
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorSlice:
+    """A contiguous byte range of one gradient tensor."""
+
+    grad_id: int
+    offset: float
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0 or self.offset < 0:
+            raise PackingError(
+                f"invalid slice of gradient {self.grad_id}: "
+                f"offset={self.offset}, nbytes={self.nbytes}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class AllReduceUnit:
+    """One unit of communication: a bundle of tensor slices."""
+
+    unit_id: int
+    slices: tuple[TensorSlice, ...]
+
+    @property
+    def nbytes(self) -> float:
+        return sum(s.nbytes for s in self.slices)
+
+
+class GradientPacker:
+    """Splits/merges synchronized gradients into all-reduce units."""
+
+    def __init__(self, granularity_bytes: float) -> None:
+        if granularity_bytes <= 0:
+            raise PackingError("granularity must be positive")
+        self.granularity_bytes = float(granularity_bytes)
+        self._next_unit_id = 0
+
+    def pack(self, gradients: t.Sequence[tuple[int, float]]
+             ) -> list[AllReduceUnit]:
+        """Pack ``(grad_id, nbytes)`` pairs into all-reduce units.
+
+        Gradients are processed in id order; tensors larger than the
+        granularity are sliced, smaller ones merged.  Every unit except
+        possibly the last is exactly ``granularity_bytes``.
+        """
+        if not gradients:
+            return []
+        seen: set[int] = set()
+        for grad_id, nbytes in gradients:
+            if grad_id in seen:
+                raise PackingError(f"gradient {grad_id} packed twice")
+            if nbytes <= 0:
+                raise PackingError(f"gradient {grad_id} has no bytes")
+            seen.add(grad_id)
+
+        units: list[AllReduceUnit] = []
+        current: list[TensorSlice] = []
+        current_bytes = 0.0
+        for grad_id, nbytes in sorted(gradients):
+            offset = 0.0
+            remaining = float(nbytes)
+            while remaining > 0:
+                room = self.granularity_bytes - current_bytes
+                take = min(remaining, room)
+                current.append(TensorSlice(grad_id, offset, take))
+                current_bytes += take
+                offset += take
+                remaining -= take
+                if current_bytes >= self.granularity_bytes:
+                    units.append(self._emit(current))
+                    current = []
+                    current_bytes = 0.0
+        if current:
+            units.append(self._emit(current))
+        return units
+
+    def _emit(self, slices: list[TensorSlice]) -> AllReduceUnit:
+        unit = AllReduceUnit(self._next_unit_id, tuple(slices))
+        self._next_unit_id += 1
+        return unit
+
+
+def unpack(units: t.Sequence[AllReduceUnit]) -> dict[int, float]:
+    """Regroup unit slices back into whole tensors (§V-B "unpack").
+
+    Returns ``{grad_id: total_bytes}`` and validates slice contiguity —
+    the inverse of :meth:`GradientPacker.pack`.
+    """
+    pieces: dict[int, list[TensorSlice]] = {}
+    for unit in units:
+        for piece in unit.slices:
+            pieces.setdefault(piece.grad_id, []).append(piece)
+    totals: dict[int, float] = {}
+    for grad_id, slices in pieces.items():
+        slices.sort(key=lambda s: s.offset)
+        position = 0.0
+        for piece in slices:
+            if abs(piece.offset - position) > 1e-6:
+                raise PackingError(
+                    f"gradient {grad_id} has a gap/overlap at byte "
+                    f"{position:g} (slice starts at {piece.offset:g})"
+                )
+            position += piece.nbytes
+        totals[grad_id] = position
+    return totals

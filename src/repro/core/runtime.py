@@ -1,0 +1,71 @@
+"""AIACC-Training runtime configuration.
+
+The three hyperparameters of Section VI — number of concurrent
+communication streams, gradient communication granularity, and all-reduce
+algorithm — plus the production feature toggles of Section IV.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ReproError
+
+#: Search bounds observed in the paper's deployments ("the number of
+#: concurrent CUDA streams varies between 2 and 24", §VIII-D).
+MIN_STREAMS = 1
+MAX_STREAMS = 24
+
+#: Granularity bounds for packing gradients into all-reduce units.
+MIN_GRANULARITY_BYTES = 512 * 1024
+MAX_GRANULARITY_BYTES = 256 * 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class AIACCConfig:
+    """Tunable communication parameters and feature switches."""
+
+    #: Concurrent communication streams (CUDA streams / TCP connections).
+    num_streams: int = 8
+    #: Target byte size of one all-reduce unit; small tensors are merged
+    #: up to it and large tensors split down to it (paper §V-B).
+    granularity_bytes: float = 16e6
+    #: "ring" or "hierarchical" (the paper's tree) all-reduce.
+    algorithm: str = "ring"
+    #: Transmit gradients as fp16 (Section X: "half-precision
+    #: representation to accelerate gradient transmission").
+    fp16_compression: bool = False
+    #: Raise NaNGradientError when a non-finite gradient is produced.
+    nan_check: bool = False
+    #: Run the Section VI auto-tuner during warm-up.
+    autotune: bool = False
+    #: Iteration budget of the auto-tuning warm-up phase (paper: n = 100).
+    autotune_budget: int = 100
+
+    def __post_init__(self) -> None:
+        if not MIN_STREAMS <= self.num_streams <= MAX_STREAMS:
+            raise ReproError(
+                f"num_streams must be within [{MIN_STREAMS}, {MAX_STREAMS}]"
+            )
+        if not MIN_GRANULARITY_BYTES <= self.granularity_bytes \
+                <= MAX_GRANULARITY_BYTES:
+            raise ReproError(
+                "granularity_bytes must be within "
+                f"[{MIN_GRANULARITY_BYTES}, {MAX_GRANULARITY_BYTES}]"
+            )
+        if self.algorithm not in ("ring", "hierarchical"):
+            raise ReproError(
+                f"algorithm must be 'ring' or 'hierarchical', "
+                f"got {self.algorithm!r}"
+            )
+        if self.autotune_budget < 1:
+            raise ReproError("autotune_budget must be >= 1")
+
+    @property
+    def wire_dtype_bytes(self) -> int:
+        """Bytes per gradient element on the wire."""
+        return 2 if self.fp16_compression else 4
+
+    def replace(self, **changes: object) -> "AIACCConfig":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,134 @@
+"""Top-k gradient sparsification with error feedback.
+
+The paper builds on the gradient-compression literature it cites (Deep
+Gradient Compression, AdaComp — refs [7], [8]) and notes AIACC-Training
+"supports communication optimization techniques like gradient
+compression" (§I).  Beyond the fp16 path of
+:mod:`repro.core.compression`, this module implements the classic top-k
+scheme those papers use:
+
+* only the ``k`` largest-magnitude gradient elements are transmitted
+  (index + value pairs);
+* the untransmitted *residual* is accumulated locally and added to the
+  next step's gradient ("error feedback"), which is what preserves
+  convergence.
+
+The sparse exchange is an all-gather of (index, value) pairs rather than
+an all-reduce; :func:`sparse_allreduce` provides the numeric semantics
+and :func:`sparse_wire_bytes` the wire-volume model used for timing
+what-ifs.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Bytes per transmitted element: 4-byte index + 4-byte fp32 value.
+BYTES_PER_SPARSE_ELEMENT = 8
+
+
+class TopKCompressor:
+    """Per-tensor top-k selection with residual error feedback."""
+
+    def __init__(self, compress_ratio: float = 0.01) -> None:
+        if not 0 < compress_ratio <= 1:
+            raise ReproError("compress_ratio must be in (0, 1]")
+        self.compress_ratio = compress_ratio
+        self._residuals: dict[str, np.ndarray] = {}
+
+    def compress(self, name: str, gradient: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (indices, values) of the top-k corrected gradient.
+
+        The gradient is first corrected by the stored residual; whatever
+        is not selected becomes the new residual.
+        """
+        flat = gradient.ravel().astype(np.float64)
+        residual = self._residuals.get(name)
+        if residual is not None:
+            flat = flat + residual
+        k = max(1, int(np.ceil(flat.size * self.compress_ratio)))
+        # argpartition is O(n); ties broken deterministically by index.
+        candidates = np.argpartition(-np.abs(flat), k - 1)[:k]
+        indices = np.sort(candidates)
+        values = flat[indices]
+        new_residual = flat.copy()
+        new_residual[indices] = 0.0
+        self._residuals[name] = new_residual
+        return indices.astype(np.int64), values
+
+    def residual_norm(self, name: str) -> float:
+        """L2 norm of the currently stored residual for ``name``."""
+        residual = self._residuals.get(name)
+        return float(np.linalg.norm(residual)) if residual is not None \
+            else 0.0
+
+
+def sparse_allreduce(per_worker: t.Sequence[tuple[np.ndarray, np.ndarray]],
+                     dense_size: int,
+                     average: bool = True) -> np.ndarray:
+    """Combine workers' (indices, values) into the dense mean gradient.
+
+    Semantically an all-gather of sparse contributions followed by a
+    local scatter-add — the standard DGC aggregation.
+    """
+    if dense_size < 1:
+        raise ReproError("dense_size must be >= 1")
+    if not per_worker:
+        raise ReproError("need at least one worker contribution")
+    dense = np.zeros(dense_size)
+    for indices, values in per_worker:
+        if len(indices) != len(values):
+            raise ReproError("indices/values length mismatch")
+        if len(indices) and (indices.min() < 0
+                             or indices.max() >= dense_size):
+            raise ReproError("sparse index out of range")
+        np.add.at(dense, indices, values)
+    if average:
+        dense /= len(per_worker)
+    return dense
+
+
+def sparse_wire_bytes(num_elements: int, compress_ratio: float,
+                      world_size: int) -> float:
+    """Per-worker wire bytes for a sparse all-gather exchange.
+
+    Each worker broadcasts its k (index, value) pairs to all peers; with
+    a ring all-gather every worker sends/receives ``(n-1) x k`` pairs.
+    Compare against the dense ring all-reduce's ``~2 x 4 x num_elements``
+    to see where sparsification pays off (it stops paying when
+    ``ratio > 1/n``, which is why DGC targets 0.1-1%).
+    """
+    if world_size < 1:
+        raise ReproError("world_size must be >= 1")
+    k = max(1, int(np.ceil(num_elements * compress_ratio)))
+    return float((world_size - 1) * k * BYTES_PER_SPARSE_ELEMENT)
+
+
+def train_step_with_topk(
+    compressor_per_worker: t.Sequence[TopKCompressor],
+    worker_grads: t.Sequence[t.Mapping[str, np.ndarray]],
+) -> dict[str, np.ndarray]:
+    """One synchronized sparse gradient exchange across workers.
+
+    Returns the aggregated dense gradients (identical on every worker).
+    """
+    if len(compressor_per_worker) != len(worker_grads):
+        raise ReproError("one compressor per worker required")
+    names = sorted(worker_grads[0])
+    aggregated: dict[str, np.ndarray] = {}
+    for name in names:
+        shape = worker_grads[0][name].shape
+        size = int(np.prod(shape)) if shape else 1
+        contributions = [
+            compressor.compress(name, grads[name])
+            for compressor, grads in zip(compressor_per_worker,
+                                         worker_grads)
+        ]
+        aggregated[name] = sparse_allreduce(
+            contributions, size).reshape(shape)
+    return aggregated

@@ -1,0 +1,100 @@
+"""The communication thread/stream pool (paper §V, Algorithm 1).
+
+"Multi-streamed gradient communication is achieved by first creating a
+thread pool with multiple CUDA stream contexts ... The MPI communication
+process automatically dispatches an all-reduce unit to an available CUDA
+stream."
+
+The pool's *effective* concurrency is limited by GPU SM availability
+while backward compute kernels are running (paper §VIII-A): the
+:class:`~repro.sim.cuda.GPUDevice` contention model shrinks the pool
+during backward and the full requested width becomes available once
+compute finishes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ReproError
+from repro.sim.cuda import GPUDevice
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+
+class CommStreamPool:
+    """A pool of communication streams with compute-aware concurrency."""
+
+    def __init__(self, sim: Simulator, gpu: GPUDevice, num_streams: int,
+                 compute_occupancy: float,
+                 setup_latency_s: float = 0.0) -> None:
+        if num_streams < 1:
+            raise ReproError("num_streams must be >= 1")
+        self.sim = sim
+        self.gpu = gpu
+        self.requested_streams = num_streams
+        self.compute_occupancy = compute_occupancy
+        #: One-time cost of creating the streams/communicators, paid at
+        #: :meth:`setup`.
+        self.setup_latency_s = setup_latency_s * num_streams
+        self._resource = Resource(
+            sim,
+            capacity=gpu.effective_streams(num_streams, compute_occupancy),
+            name="comm-streams",
+        )
+        self.dispatched_units = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def setup(self) -> Event:
+        """Event firing once stream contexts are constructed."""
+        return self.sim.timeout(self.setup_latency_s)
+
+    def compute_finished(self) -> None:
+        """Backward compute ended: all requested streams become usable."""
+        self._resource.resize(self.requested_streams)
+
+    def compute_started(self) -> None:
+        """Backward compute (re)started: SM contention shrinks the pool.
+
+        In-flight units keep their streams; the reduced width applies to
+        new dispatches (matching how the hardware scheduler admits new
+        kernels).
+        """
+        limited = self.gpu.effective_streams(
+            self.requested_streams, self.compute_occupancy)
+        self._resource.resize(limited)
+
+    # -- dispatch -----------------------------------------------------------
+
+    @property
+    def effective_streams(self) -> int:
+        """Streams currently admitted by the hardware scheduler."""
+        return self._resource.capacity
+
+    @property
+    def in_flight(self) -> int:
+        return self._resource.in_use
+
+    def acquire(self, streams: int = 1) -> Event:
+        """Wait for ``streams`` free slots (granted atomically)."""
+        self.dispatched_units += 1
+        return self._resource.acquire(streams)
+
+    def release(self, streams: int = 1) -> None:
+        self._resource.release(streams)
+
+    def run_unit(self, work: t.Callable[[], Event],
+                 streams: int = 1) -> t.Generator:
+        """Process generator: acquire stream(s), run ``work()``, release.
+
+        ``streams`` > 1 models collectives that occupy several CUDA
+        streams at once — the hierarchical all-reduce runs ``g`` parallel
+        inter-node rings, one stream each (paper §V-B).
+        """
+        yield self.acquire(streams)
+        try:
+            yield work()
+        finally:
+            self.release(streams)

@@ -1,0 +1,97 @@
+"""Decentralized gradient synchronization (paper §V-A.2 and Fig. 8b).
+
+Workers must agree on which gradients are ready everywhere before
+all-reducing them.  Horovod routes this through a master; AIACC-Training
+instead performs a **ring all-reduce with a min operator over the
+readiness bit vector** among the per-worker MPI daemons:
+
+    "To check if a gradient has been computed by all training workers, we
+    apply a min reduction operator to each element of the gradient
+    synchronization vector.  Since a min operator is used, a gradient in
+    the all-reduced synchronization vector will be marked as 0 (not
+    ready) if it has not been computed by any of the workers."
+
+This module provides the message-level implementation used in numeric
+mode (and by the tests that prove the min-reduction semantics); the timed
+engine models the same exchange through
+:meth:`repro.collectives.timed.TimedCollectives.control_roundtrip`.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.errors import SynchronizationError
+from repro.collectives.primitives import ReduceOp
+from repro.collectives.ring import ring_allreduce_worker
+from repro.core.registration import GradientRegistry
+from repro.sim.kernel import Simulator
+from repro.sim.mpi import Communicator
+
+#: Tag namespace for synchronization rounds; one stride per round.
+_SYNC_TAG_BASE = 8 << 20
+_SYNC_TAG_STRIDE = 16384
+
+
+class DecentralizedSynchronizer:
+    """Per-worker handle performing bit-vector min all-reduce rounds."""
+
+    def __init__(self, sim: Simulator, comm: Communicator, rank: int,
+                 registry: GradientRegistry) -> None:
+        if not registry.frozen:
+            raise SynchronizationError(
+                "registry must be frozen before synchronization"
+            )
+        self.sim = sim
+        self.comm = comm
+        self.rank = rank
+        self.registry = registry
+        self._round = 0
+
+    def sync_round(self) -> t.Generator:
+        """Simulated-process generator for one synchronization round.
+
+        All workers must enter the same round number.  Returns the array
+        of gradient ids that are ready on **every** worker.
+        """
+        tag_base = _SYNC_TAG_BASE + self._round * _SYNC_TAG_STRIDE
+        self._round += 1
+        local = self.registry.sync_vector.copy()
+        reduced = yield self.sim.spawn(ring_allreduce_worker(
+            self.sim, self.comm, self.rank, local,
+            op=ReduceOp.MIN, tag_base=tag_base),
+            name=f"sync.r{self.rank}")
+        mask = t.cast(np.ndarray, reduced)
+        if mask.shape != local.shape:
+            raise SynchronizationError("sync vector shape changed mid-round")
+        return np.flatnonzero(mask == 1)
+
+
+def synchronize_all(
+    registries: t.Sequence[GradientRegistry],
+) -> list[np.ndarray]:
+    """Run one synchronization round across all workers' registries.
+
+    Convenience wrapper for tests/examples: builds a fresh simulator,
+    returns each worker's view of the globally ready gradient ids (which
+    the min-reduction guarantees are identical).
+    """
+    if not registries:
+        raise SynchronizationError("need at least one registry")
+    lengths = {len(r.sync_vector) for r in registries}
+    if len(lengths) != 1:
+        raise SynchronizationError(
+            f"workers disagree on parameter count: {lengths}"
+        )
+    sim = Simulator()
+    comm = Communicator(sim, size=len(registries))
+    synchronizers = [
+        DecentralizedSynchronizer(sim, comm, rank, registry)
+        for rank, registry in enumerate(registries)
+    ]
+    processes = [sim.spawn(s.sync_round(), name=f"sync{i}")
+                 for i, s in enumerate(synchronizers)]
+    sim.run(until=sim.all_of(processes))
+    return [t.cast(np.ndarray, p.value) for p in processes]

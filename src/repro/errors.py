@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProcessInterrupt(ReproError):
+    """A simulated process was interrupted by another process.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the interrupt happened (e.g. a simulated node failure).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted (cause={cause!r})")
+        self.cause = cause
+
+
+class NetworkError(ReproError):
+    """Invalid network configuration or flow state."""
+
+
+class TopologyError(ReproError):
+    """Invalid cluster topology description."""
+
+
+class CollectiveError(ReproError):
+    """A collective operation was invoked with inconsistent arguments."""
+
+
+class RegistrationError(ReproError):
+    """Gradient registration failed (duplicate/unknown parameters, ...)."""
+
+
+class SynchronizationError(ReproError):
+    """Gradient synchronization reached an inconsistent state."""
+
+
+class PackingError(ReproError):
+    """Gradient packing/unpacking failed."""
+
+
+class AutotuneError(ReproError):
+    """Auto-tuning was configured incorrectly."""
+
+
+class TrainingError(ReproError):
+    """The training driver hit an unrecoverable condition."""
+
+
+class CheckpointError(ReproError):
+    """Saving or restoring a checkpoint failed."""
+
+
+class TranslationError(ReproError):
+    """The source-to-source translator could not convert the input script."""
+
+
+class NaNGradientError(TrainingError):
+    """A NaN/Inf value was detected in a gradient tensor.
+
+    Raised by the debugging support described in Section IV of the paper
+    when ``nan_check`` is enabled and a non-finite gradient is produced.
+    """
+
+    def __init__(self, parameter_name: str, worker_rank: int) -> None:
+        super().__init__(
+            f"non-finite gradient for parameter {parameter_name!r} "
+            f"on worker rank {worker_rank}"
+        )
+        self.parameter_name = parameter_name
+        self.worker_rank = worker_rank

@@ -1,0 +1,205 @@
+"""Common machinery for distributed-training communication backends.
+
+A *backend* models the control plane and data plane of one DDL framework
+(Horovod, PyTorch-DDP, BytePS, MXNet-KVStore, or AIACC-Training itself).
+All backends drive the same simulated iteration structure:
+
+1. **forward** — pure compute, ``batch x forward_flops`` on the GPU;
+2. **backward** — compute runs for ``2x`` forward; gradient tensors become
+   ready at their :meth:`~repro.models.base.ModelSpec.backward_schedule`
+   fractions and are pushed to the backend as they appear;
+3. **communication** — backend-specific; the iteration completes when all
+   gradients are globally reduced and the optimizer step has run.
+
+Because data-parallel workers are symmetric (identical model, identical
+batch shape, synchronized steps), the simulation follows one
+representative worker; cluster-wide network effects are captured by the
+fluid network model and control-plane costs by each backend's analytic
+terms.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing as t
+
+from repro.errors import TrainingError
+from repro.models.base import ModelSpec, ParameterSpec
+from repro.collectives.timed import TimedCollectives
+from repro.sim.kernel import Simulator
+from repro.sim.network import FluidNetwork
+from repro.sim.resources import Store
+from repro.sim.topology import Cluster
+from repro.sim.tracing import Trace
+
+#: Fixed cost of the optimizer parameter-update kernel per iteration.
+UPDATE_TIME_S = 1e-3
+
+#: Sentinel pushed to the gradient store when the backward pass finishes.
+BACKWARD_DONE = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadyGradient:
+    """A gradient tensor that has been produced on the local worker."""
+
+    parameter: ParameterSpec
+    #: Registration index (paper §V-A: sorted, unique ids; workers
+    #: implicitly agree on communication order through them).
+    grad_id: int
+    ready_at: float
+
+
+@dataclasses.dataclass
+class TrainContext:
+    """Everything a backend needs to run one worker's iterations."""
+
+    sim: Simulator
+    network: FluidNetwork
+    cluster: Cluster
+    collectives: TimedCollectives
+    model: ModelSpec
+    batch_per_gpu: int
+    trace: Trace
+    #: Bytes per gradient element actually transmitted (2 when fp16
+    #: gradient compression is enabled, else the parameter dtype width).
+    wire_dtype_bytes: int = 4
+    #: Additional per-iteration time spent outside gradient communication,
+    #: e.g. the NVLink activation exchange of hybrid data+model
+    #: parallelism (folded into the forward pass).
+    extra_forward_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_per_gpu < 1:
+            raise TrainingError("batch_per_gpu must be >= 1")
+        if self.extra_forward_time_s < 0:
+            raise TrainingError("extra_forward_time_s must be >= 0")
+
+    # -- compute timing -----------------------------------------------------
+
+    @property
+    def forward_time_s(self) -> float:
+        """Duration of the forward pass for one minibatch."""
+        flops = self.model.forward_flops * self.batch_per_gpu
+        return self.cluster.gpu_device.compute_time_s(flops) + \
+            self.extra_forward_time_s
+
+    @property
+    def backward_time_s(self) -> float:
+        """Duration of the backward pass for one minibatch."""
+        flops = self.model.backward_flops * self.batch_per_gpu
+        return self.cluster.gpu_device.compute_time_s(flops)
+
+    @property
+    def compute_time_s(self) -> float:
+        """Forward + backward + update time; the no-communication floor."""
+        return self.forward_time_s + self.backward_time_s + UPDATE_TIME_S
+
+    def wire_bytes(self, parameter: ParameterSpec) -> float:
+        """Bytes of ``parameter``'s gradient as sent on the network."""
+        return parameter.num_elements * self.wire_dtype_bytes
+
+    @property
+    def effective_occupancy(self) -> float:
+        """SM occupancy of compute kernels at the current batch size.
+
+        Paper footnote 5: "Less GPU computation means that there will be
+        a higher chance for the GPU hardware scheduler to dispatch more
+        CUDA streams to run concurrently" — smaller batches launch
+        smaller kernels, freeing SMs for communication streams.  Scales
+        the model's nominal occupancy by the square root of the batch
+        ratio (kernel width grows sub-linearly with batch).
+        """
+        ratio = self.batch_per_gpu / self.model.default_batch_size
+        return min(1.0, self.model.compute_occupancy
+                   * min(1.0, ratio) ** 0.5)
+
+    def staging_time_s(self, nbytes: float) -> float:
+        """GPU<->CPU staging cost for ``nbytes`` of gradient traffic.
+
+        TCP communication buffers live in CPU memory (paper §V-A.2), so
+        every transfer pays a PCIe round trip; GPU-direct RDMA reads
+        device memory and pays nothing.  Applies identically to every
+        backend — all of them move gradients through host buffers on a
+        TCP fabric.
+        """
+        if self.cluster.spec.transport.gpu_direct:
+            return 0.0
+        return 2.0 * nbytes * 8.0 / self.cluster.spec.gpu.pcie_bps
+
+    # -- gradient production --------------------------------------------------
+
+    def backward_producer(self, store: Store) -> t.Generator:
+        """Process emitting gradients into ``store`` during backward.
+
+        Gradients appear in reverse layer order at schedule fractions of
+        the backward duration; ids follow registration (forward) order.
+        Ends by pushing :data:`BACKWARD_DONE`.
+        """
+        ids = {p.name: i for i, p in enumerate(self.model.parameters())}
+        duration = self.backward_time_s
+        elapsed = 0.0
+        for event in self.model.backward_schedule():
+            target = event.time_fraction * duration
+            if target > elapsed:
+                yield self.sim.timeout(target - elapsed)
+                elapsed = target
+            for parameter in event.parameters:
+                store.put(ReadyGradient(
+                    parameter=parameter,
+                    grad_id=ids[parameter.name],
+                    ready_at=self.sim.now,
+                ))
+        if elapsed < duration:
+            yield self.sim.timeout(duration - elapsed)
+        store.put(BACKWARD_DONE)
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationStats:
+    """Timing breakdown of one training iteration."""
+
+    iteration_time_s: float
+    compute_time_s: float
+
+    @property
+    def exposed_comm_time_s(self) -> float:
+        """Communication time not hidden behind compute."""
+        return max(0.0, self.iteration_time_s - self.compute_time_s)
+
+
+class DDLBackend(abc.ABC):
+    """One distributed-training communication framework."""
+
+    #: Human-readable framework name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def iteration(self, ctx: TrainContext) -> t.Generator:
+        """Simulated-process generator for one full training iteration.
+
+        Must return an :class:`IterationStats`.
+        """
+
+    def warmup(self, ctx: TrainContext) -> t.Generator:
+        """Optional one-time setup (stream creation, tuning, rendezvous)."""
+        return
+        yield  # pragma: no cover - default is a no-op generator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def drain_gradients(store: Store) -> t.Generator:
+    """Helper: collect every gradient of one backward pass from ``store``.
+
+    Yields control while waiting; returns the complete list.  Useful for
+    backends that only act on full-iteration boundaries.
+    """
+    gradients: list[ReadyGradient] = []
+    while True:
+        item = yield store.get()
+        if item is BACKWARD_DONE:
+            return gradients
+        gradients.append(t.cast(ReadyGradient, item))

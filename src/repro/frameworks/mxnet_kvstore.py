@@ -1,0 +1,91 @@
+"""MXNet distributed KVStore baseline.
+
+MXNet's native data-parallel path synchronizes through a distributed
+key-value store: every parameter is a *key*; workers push gradient values
+and pull back aggregated weights.  Compared to BytePS it lacks tensor
+partitioning and connection pipelining — each key is pushed/pulled
+whole over a single connection, with per-key serialization overhead —
+which is why Fig. 12 of the paper shows "the parameter server approach
+used by MXNet gives a lower throughput compared to the all-reduce used by
+Tensorflow and PyTorch".
+
+The paper's AIACC integration replaces exactly this interface ("porting
+MXNet's parameter server-based code ... can be realized using the MXNet
+key value store interface").
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.frameworks.base import (
+    BACKWARD_DONE,
+    DDLBackend,
+    IterationStats,
+    ReadyGradient,
+    TrainContext,
+    UPDATE_TIME_S,
+)
+from repro.sim.resources import Resource, Store
+
+
+class MXNetKVStoreBackend(DDLBackend):
+    """Whole-key parameter server with minimal pipelining (KVStore)."""
+
+    name = "mxnet-kvstore"
+
+    def __init__(self, per_key_overhead_s: float = 100e-6,
+                 num_connections: int = 2) -> None:
+        if num_connections < 1:
+            raise ValueError("num_connections must be >= 1")
+        self.per_key_overhead_s = per_key_overhead_s
+        #: KVStore overlaps the push of one key with the pull of another,
+        #: but far less aggressively than BytePS's partitioned pipeline.
+        self.num_connections = num_connections
+
+    def iteration(self, ctx: TrainContext) -> t.Generator:
+        start = ctx.sim.now
+        yield ctx.sim.timeout(ctx.forward_time_s)
+
+        gradients = Store(ctx.sim, name="kvstore.gradients")
+        ctx.sim.spawn(ctx.backward_producer(gradients), name="backward")
+        connections = Resource(ctx.sim, self.num_connections,
+                               name="kvstore.connections")
+        transfers: list = []
+
+        while True:
+            item = yield gradients.get()
+            if item is BACKWARD_DONE:
+                break
+            grad = t.cast(ReadyGradient, item)
+            size = ctx.wire_bytes(grad.parameter)
+            transfers.append(ctx.sim.spawn(
+                self._push_pull(ctx, connections, size),
+                name="kvstore.pushpull"))
+        if transfers:
+            yield ctx.sim.all_of(transfers)
+        yield ctx.sim.timeout(UPDATE_TIME_S)
+        return IterationStats(
+            iteration_time_s=ctx.sim.now - start,
+            compute_time_s=ctx.compute_time_s,
+        )
+
+    def _push_pull(self, ctx: TrainContext, connections: Resource,
+                   size: float) -> t.Generator:
+        """Serial whole-key push then pull on one connection."""
+        g = ctx.cluster.spec.gpus_per_node
+        m = ctx.cluster.num_nodes
+        yield connections.acquire()
+        try:
+            yield ctx.sim.timeout(self.per_key_overhead_s)
+            if m == 1:
+                yield ctx.network.start_flow(
+                    [ctx.cluster.nvlink[0]], 2 * size)
+                return
+            nic_bytes = g * size * (m - 1) / m
+            cap = ctx.cluster.stream_cap_bps()
+            hop = ctx.cluster.representative_hop()
+            yield ctx.network.start_flow(hop, nic_bytes, rate_cap_bps=cap)
+            yield ctx.network.start_flow(hop, nic_bytes, rate_cap_bps=cap)
+        finally:
+            connections.release()

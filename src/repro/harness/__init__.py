@@ -1,0 +1,65 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+See :mod:`repro.harness.experiments` for one function per table/figure and
+:mod:`repro.harness.report` for table rendering/persistence.  The
+``benchmarks/`` directory drives these functions under pytest-benchmark
+and asserts the paper's shape criteria.
+"""
+
+from repro.harness.experiments import (
+    congested_algorithm_choice,
+    PYTORCH_BACKENDS,
+    SCALE_AXIS,
+    autotune_parameters,
+    bandwidth_utilization,
+    ctr_production,
+    dawnbench,
+    fig2_motivation,
+    fig9_cv_pytorch,
+    fig10_nlp_pytorch,
+    fig11_tensorflow,
+    fig12_mxnet,
+    fig13_hybrid,
+    fig14_batchsize,
+    fig15_rdma,
+    future_gpu_whatif,
+    insightface_speedup,
+    measure,
+    scaling_efficiency_summary,
+    throughput_matrix,
+    tuned_aiacc_config,
+)
+from repro.harness.report import (
+    ascii_chart,
+    format_table,
+    save_report,
+    series_summary,
+)
+
+__all__ = [
+    "PYTORCH_BACKENDS",
+    "SCALE_AXIS",
+    "autotune_parameters",
+    "bandwidth_utilization",
+    "congested_algorithm_choice",
+    "ctr_production",
+    "dawnbench",
+    "fig2_motivation",
+    "fig9_cv_pytorch",
+    "fig10_nlp_pytorch",
+    "fig11_tensorflow",
+    "fig12_mxnet",
+    "fig13_hybrid",
+    "fig14_batchsize",
+    "fig15_rdma",
+    "ascii_chart",
+    "format_table",
+    "future_gpu_whatif",
+    "insightface_speedup",
+    "measure",
+    "save_report",
+    "scaling_efficiency_summary",
+    "series_summary",
+    "throughput_matrix",
+    "tuned_aiacc_config",
+]

@@ -1,0 +1,378 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Each function runs the relevant simulations and returns a list of row
+dicts; the benchmarks in ``benchmarks/`` drive these, assert the paper's
+shape criteria, and persist the regenerated tables.
+
+The AIACC configuration per deployment comes from
+:func:`tuned_aiacc_config`, a deterministic heuristic matching what the
+auto-tuner converges to (streams grow with node count; granularity larger
+for Transformer-family models — paper §VIII-D); the autotuner experiment
+itself runs the real ensemble search.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.core.runtime import AIACCConfig
+from repro.frameworks import make_backend
+from repro.models.base import ModelSpec
+from repro.models.zoo import get_model
+from repro.sim.rdma import RDMA, RDMA_DEFAULT_BANDWIDTH_BPS
+from repro.sim.tcp import TCP
+from repro.training.convergence import time_to_accuracy
+from repro.training.hybrid import run_hybrid_training
+from repro.training.trainer import ThroughputResult, run_training
+
+#: GPU counts of the paper's scalability axes (8 GPUs per node).
+SCALE_AXIS = (8, 16, 32, 64, 128, 256)
+
+#: Backends in the paper's Fig. 9/10 comparison.
+PYTORCH_BACKENDS = ("aiacc", "horovod", "pytorch-ddp", "byteps")
+
+
+def tuned_aiacc_config(model: str | ModelSpec,
+                       num_gpus: int) -> AIACCConfig:
+    """Heuristic stand-in for the auto-tuner's converged setting.
+
+    Streams scale with node count ("AIACC-Training tends to use a larger
+    number of CUDA streams when a higher number of GPUs is available");
+    granularity is larger for Transformer-family workloads ("the chosen
+    communication granularity is larger for the Transformer-based model").
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    nodes = max(1, num_gpus // 8)
+    streams = min(24, max(2, 2 * nodes))
+    if spec.category == "NLP":
+        granularity = 32e6
+    elif spec.category == "CTR":
+        granularity = 4e6
+    else:
+        granularity = 8e6
+    return AIACCConfig(num_streams=streams, granularity_bytes=granularity)
+
+
+def measure(model: str | ModelSpec, backend_name: str, num_gpus: int,
+            batch_per_gpu: int | None = None,
+            transport: t.Any = TCP,
+            nic_bandwidth_bps: float = 30e9,
+            iterations: int = 3) -> ThroughputResult:
+    """One throughput measurement with per-deployment AIACC tuning."""
+    if backend_name == "aiacc":
+        backend: t.Any = make_backend(
+            "aiacc", config=tuned_aiacc_config(model, num_gpus))
+    else:
+        backend = make_backend(backend_name)
+    return run_training(
+        model, backend, num_gpus, batch_per_gpu=batch_per_gpu,
+        measure_iterations=iterations, warmup_iterations=1,
+        transport=transport, nic_bandwidth_bps=nic_bandwidth_bps)
+
+
+# --------------------------------------------------------------------------
+# Motivation and microbenchmarks
+# --------------------------------------------------------------------------
+
+def fig2_motivation(gpu_counts: t.Sequence[int] = (1, 8, 16, 32)
+                    ) -> list[dict]:
+    """Fig. 2: Horovod throughput vs. the theoretical linear speedup."""
+    rows = []
+    single: float | None = None
+    for gpus in gpu_counts:
+        result = measure("resnet50", "horovod", gpus)
+        if single is None:
+            single = result.single_gpu_throughput
+        rows.append({
+            "gpus": gpus,
+            "horovod_throughput": result.throughput,
+            "linear_throughput": single * gpus,
+            "scaling_efficiency": result.throughput / (single * gpus),
+        })
+    return rows
+
+
+def bandwidth_utilization(streams_axis: t.Sequence[int] = (1, 2, 4, 8, 16)
+                          ) -> list[dict]:
+    """§III claim: one TCP stream reaches ≤30% of the link bandwidth."""
+    from repro.collectives import TimedCollectives
+    from repro.sim import FluidNetwork, Simulator, alibaba_v100_cluster
+
+    rows = []
+    size = 240e6
+    for streams in streams_axis:
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        cluster = alibaba_v100_cluster(sim, 16)
+        timed = TimedCollectives(sim, net, cluster)
+        events = [timed.allreduce(size / streams) for _ in range(streams)]
+        sim.run(until=sim.all_of(events))
+        raw_bandwidth = 30e9
+        hop_bits = 2 * size * (15 / 16) * 8
+        utilization = hop_bits / sim.now / raw_bandwidth
+        rows.append({
+            "streams": streams,
+            "transfer_s": sim.now,
+            "utilization": min(1.0, utilization),
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Main throughput figures
+# --------------------------------------------------------------------------
+
+def throughput_matrix(models: t.Sequence[str],
+                      backends: t.Sequence[str] = PYTORCH_BACKENDS,
+                      gpu_counts: t.Sequence[int] = SCALE_AXIS,
+                      **measure_kwargs: t.Any) -> list[dict]:
+    """Generic (model x backend x #GPUs) throughput sweep."""
+    rows = []
+    for model in models:
+        for gpus in gpu_counts:
+            row: dict[str, object] = {"model": model, "gpus": gpus}
+            for backend in backends:
+                result = measure(model, backend, gpus, **measure_kwargs)
+                row[backend] = result.throughput
+                row[f"{backend}_eff"] = result.scaling_efficiency
+            rows.append(row)
+    return rows
+
+
+def fig9_cv_pytorch(gpu_counts: t.Sequence[int] = SCALE_AXIS) -> list[dict]:
+    """Fig. 9: PyTorch CV models, all four backends."""
+    return throughput_matrix(("vgg16", "resnet50", "resnet101"),
+                             gpu_counts=gpu_counts)
+
+
+def fig10_nlp_pytorch(gpu_counts: t.Sequence[int] = SCALE_AXIS
+                      ) -> list[dict]:
+    """Fig. 10: PyTorch NLP models, all four backends."""
+    return throughput_matrix(("transformer", "bert-large"),
+                             gpu_counts=gpu_counts)
+
+
+def fig11_tensorflow(gpu_counts: t.Sequence[int] = SCALE_AXIS
+                     ) -> list[dict]:
+    """Fig. 11: TensorFlow models — AIACC vs. Horovod all-reduce.
+
+    TensorFlow's distribution path is Horovod's all-reduce engine; the
+    unified AIACC library applies the identical optimization, so the
+    backend pair is (aiacc, horovod) over the TF workloads.
+    """
+    return throughput_matrix(("vgg16", "resnet50", "bert-large"),
+                             backends=("aiacc", "horovod"),
+                             gpu_counts=gpu_counts)
+
+
+def fig12_mxnet(gpu_counts: t.Sequence[int] = SCALE_AXIS) -> list[dict]:
+    """Fig. 12: MXNet models — AIACC vs. the native KVStore PS."""
+    return throughput_matrix(("vgg16", "resnet50"),
+                             backends=("aiacc", "mxnet-kvstore"),
+                             gpu_counts=gpu_counts)
+
+
+# --------------------------------------------------------------------------
+# Further analysis (§VIII-D)
+# --------------------------------------------------------------------------
+
+def fig13_hybrid(gpu_counts: t.Sequence[int] = (8, 16, 32, 64)
+                 ) -> list[dict]:
+    """Fig. 13: hybrid data+model parallelism, AIACC vs MXNet KVStore."""
+    rows = []
+    for gpus in gpu_counts:
+        aiacc = run_hybrid_training(
+            "resnet50", "aiacc", gpus, model_parallel_degree=2,
+            measure_iterations=3, warmup_iterations=1,
+            backend_options={"config": tuned_aiacc_config("resnet50",
+                                                          gpus)})
+        kvstore = run_hybrid_training(
+            "resnet50", "mxnet-kvstore", gpus, model_parallel_degree=2,
+            measure_iterations=3, warmup_iterations=1)
+        rows.append({
+            "gpus": gpus,
+            "aiacc": aiacc.throughput,
+            "mxnet-kvstore": kvstore.throughput,
+            "speedup": aiacc.throughput / kvstore.throughput,
+        })
+    return rows
+
+
+def fig14_batchsize(batch_sizes: t.Sequence[int] = (2, 4, 8, 16, 32, 64),
+                    num_gpus: int = 16) -> list[dict]:
+    """Fig. 14: BERT-Large speedup over Horovod vs. per-GPU batch size."""
+    rows = []
+    for batch in batch_sizes:
+        aiacc = measure("bert-large", "aiacc", num_gpus,
+                        batch_per_gpu=batch)
+        horovod = measure("bert-large", "horovod", num_gpus,
+                          batch_per_gpu=batch)
+        rows.append({
+            "batch_per_gpu": batch,
+            "aiacc": aiacc.throughput,
+            "horovod": horovod.throughput,
+            "speedup": aiacc.throughput / horovod.throughput,
+        })
+    return rows
+
+
+def fig15_rdma(models: t.Sequence[str] = ("resnet50", "vgg16",
+                                          "bert-large", "gpt2-xl"),
+               num_gpus: int = 64) -> list[dict]:
+    """Fig. 15: RDMA nodes (64 GPUs), speedup over PyTorch-DDP."""
+    rows = []
+    for model in models:
+        aiacc = measure(model, "aiacc", num_gpus, transport=RDMA,
+                        nic_bandwidth_bps=RDMA_DEFAULT_BANDWIDTH_BPS)
+        ddp = measure(model, "pytorch-ddp", num_gpus, transport=RDMA,
+                      nic_bandwidth_bps=RDMA_DEFAULT_BANDWIDTH_BPS)
+        rows.append({
+            "model": model,
+            "aiacc": aiacc.throughput,
+            "pytorch-ddp": ddp.throughput,
+            "speedup": aiacc.throughput / ddp.throughput,
+        })
+    return rows
+
+
+def scaling_efficiency_summary() -> list[dict]:
+    """§VIII-A text claims: efficiencies and speedups at 32/256 GPUs."""
+    rows = []
+    for model, gpus in (("resnet50", 32), ("vgg16", 32),
+                        ("resnet50", 256), ("vgg16", 256)):
+        aiacc = measure(model, "aiacc", gpus)
+        horovod = measure(model, "horovod", gpus)
+        ddp = measure(model, "pytorch-ddp", gpus)
+        rows.append({
+            "model": model,
+            "gpus": gpus,
+            "aiacc_eff": aiacc.scaling_efficiency,
+            "horovod_eff": horovod.scaling_efficiency,
+            "speedup_vs_horovod": aiacc.throughput / horovod.throughput,
+            "speedup_vs_ddp": aiacc.throughput / ddp.throughput,
+        })
+    return rows
+
+
+def ctr_production(num_gpus: int = 128) -> list[dict]:
+    """§VIII-C: the production CTR workload, AIACC vs Horovod."""
+    aiacc = measure("ctr", "aiacc", num_gpus)
+    horovod = measure("ctr", "horovod", num_gpus)
+    return [{
+        "gpus": num_gpus,
+        "aiacc_entries_per_s": aiacc.throughput,
+        "horovod_entries_per_s": horovod.throughput,
+        "speedup": aiacc.throughput / horovod.throughput,
+    }]
+
+
+def dawnbench(num_gpus: int = 128) -> list[dict]:
+    """§VIII-C: DAWNBench time/cost to 93% top-5 on ImageNet."""
+    aiacc = measure("resnet50", "aiacc", num_gpus)
+    tta = time_to_accuracy(aiacc.throughput, num_gpus)
+    return [{
+        "gpus": num_gpus,
+        "throughput": aiacc.throughput,
+        "train_seconds": tta.train_seconds,
+        "instances": tta.num_instances,
+        "cost_usd": tta.cost_usd,
+    }]
+
+
+def autotune_parameters(deployments: t.Sequence[tuple[str, int]] = (
+        ("resnet50", 16), ("resnet50", 128), ("bert-large", 64)),
+        budget: int = 30) -> list[dict]:
+    """§VIII-D: what the real auto-tuner chooses per deployment."""
+    from repro.autotune import AutoTuner, make_evaluator
+
+    rows = []
+    for model, gpus in deployments:
+        tuner = AutoTuner(budget=budget, seed=0)
+        result = tuner.tune(make_evaluator(model, gpus))
+        rows.append({
+            "model": model,
+            "gpus": gpus,
+            "streams": result.best_point.num_streams,
+            "granularity_mb": result.best_point.granularity_bytes / 1e6,
+            "algorithm": result.best_point.algorithm,
+            "iteration_s": result.best_cost_s,
+        })
+    return rows
+
+
+def congested_algorithm_choice(num_gpus: int = 32,
+                               congestion: float = 0.25) -> list[dict]:
+    """§V-B: the hierarchical ("tree") all-reduce pays off on congested
+    links.
+
+    "[The tree all-reduce] is useful when some of the physical network
+    links become congested due to burst communications from other shared
+    cloud users."  Compares ring vs hierarchical AIACC iterations on a
+    healthy fabric and on one with a congested node NIC.
+    """
+    rows = []
+    for scenario, links in (("healthy", None),
+                            ("congested", {1: congestion})):
+        times: dict[str, float] = {}
+        for algorithm in ("ring", "hierarchical"):
+            config = AIACCConfig(num_streams=16, granularity_bytes=8e6,
+                                 algorithm=algorithm)
+            result = run_training(
+                "resnet50", make_backend("aiacc", config=config),
+                num_gpus, measure_iterations=2, warmup_iterations=1,
+                congested_links=links)
+            times[algorithm] = result.mean_iteration_s
+        rows.append({
+            "scenario": scenario,
+            "ring_iteration_s": times["ring"],
+            "hierarchical_iteration_s": times["hierarchical"],
+            "hierarchical_speedup": times["ring"] / times["hierarchical"],
+        })
+    return rows
+
+
+def insightface_speedup(num_gpus: int = 128) -> list[dict]:
+    """§VIII-C: InsightFace face recognition, AIACC vs hand-tuned Horovod.
+
+    "AIACC-Training improves the hand-tuned DDL code by 3.8x when using
+    128 GPUs" — the 512 x 1M-identity ArcFace head makes this workload
+    far more communication-bound than ImageNet ResNet-50.
+    """
+    aiacc = measure("insightface-r50", "aiacc", num_gpus)
+    horovod = measure("insightface-r50", "horovod", num_gpus)
+    return [{
+        "gpus": num_gpus,
+        "aiacc_images_per_s": aiacc.throughput,
+        "horovod_images_per_s": horovod.throughput,
+        "speedup": aiacc.throughput / horovod.throughput,
+    }]
+
+
+def future_gpu_whatif(num_gpus: int = 64) -> list[dict]:
+    """§VIII-A what-if: "we expect AIACC-Training will deliver better
+    performance on future high-end GPUs by leveraging the hardware
+    parallelism."
+
+    Swaps the V100 for an A100 (more SMs for concurrent communication
+    streams, faster compute shrinking the overlap window) on the same
+    30 Gbps network and compares the AIACC-vs-Horovod gap.
+    """
+    from repro.sim.cuda import A100, V100
+
+    rows = []
+    for label, gpu in (("V100", V100), ("A100", A100)):
+        aiacc = run_training(
+            "vgg16", make_backend(
+                "aiacc", config=tuned_aiacc_config("vgg16", num_gpus)),
+            num_gpus, measure_iterations=3, warmup_iterations=1,
+            gpu_spec=gpu)
+        horovod = run_training("vgg16", "horovod", num_gpus,
+                               measure_iterations=3, warmup_iterations=1,
+                               gpu_spec=gpu)
+        rows.append({
+            "gpu": label,
+            "aiacc": aiacc.throughput,
+            "horovod": horovod.throughput,
+            "speedup": aiacc.throughput / horovod.throughput,
+        })
+    return rows

@@ -1,0 +1,104 @@
+"""ResNet-50 / ResNet-101 workload models (He et al., 2016).
+
+Bottleneck residual networks.  Compared to VGG, the parameters are spread
+over many small conv/batch-norm tensors (~160 gradients for ResNet-50),
+making gradient *packing* (merging small tensors into all-reduce units)
+essential — and giving the best scalability in the paper (≥95% scaling
+efficiency with AIACC at 256 GPUs).
+
+Parameter totals are normalised to the paper's Table I (25.6M / 29.4M);
+the timing model uses the conventional 2-FLOPs-per-MAC forward counts
+(8.2G / 16G) while Table I reports the paper's MAC-based 4G / 8G.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import LayerSpec, ModelSpec, ParameterSpec
+
+#: Bottleneck stage plan: (blocks, width) with stride-halved spatial sizes.
+_STAGES_50 = [(3, 64, 56), (4, 128, 28), (6, 256, 14), (3, 512, 7)]
+_STAGES_101 = [(3, 64, 56), (4, 128, 28), (23, 256, 14), (3, 512, 7)]
+
+RESNET50_TABLE1_PARAMETERS = 25_600_000
+RESNET50_TABLE1_FLOPS = 4e9
+RESNET101_TABLE1_PARAMETERS = 29_400_000
+RESNET101_TABLE1_FLOPS = 8e9
+
+
+def _conv_bn(name: str, cin: int, cout: int, k: int,
+             size: int) -> tuple[list[ParameterSpec], float]:
+    """Conv(k x k) + BatchNorm parameter tensors and forward FLOPs."""
+    params = [
+        ParameterSpec(f"{name}.conv.weight", k * k * cin * cout),
+        ParameterSpec(f"{name}.bn.weight", cout),
+        ParameterSpec(f"{name}.bn.bias", cout),
+    ]
+    flops = 2.0 * k * k * cin * cout * size * size
+    return params, flops
+
+
+def _build_resnet(name: str, stages: list[tuple[int, int, int]],
+                  table_params: int, table_flops: float,
+                  timing_flops: float,
+                  compute_occupancy: float) -> ModelSpec:
+    layers: list[LayerSpec] = []
+    stem_params, stem_flops = _conv_bn("stem", 3, 64, 7, 112)
+    layers.append(LayerSpec("stem", tuple(stem_params), stem_flops))
+
+    cin = 64
+    for stage_idx, (blocks, width, size) in enumerate(stages):
+        cout = width * 4
+        for block_idx in range(blocks):
+            prefix = f"layer{stage_idx + 1}.{block_idx}"
+            params: list[ParameterSpec] = []
+            flops = 0.0
+            for conv_idx, (ci, co, k) in enumerate(
+                    [(cin, width, 1), (width, width, 3), (width, cout, 1)]):
+                p, f = _conv_bn(f"{prefix}.conv{conv_idx + 1}", ci, co, k,
+                                size)
+                params.extend(p)
+                flops += f
+            if cin != cout:  # downsample shortcut
+                p, f = _conv_bn(f"{prefix}.downsample", cin, cout, 1, size)
+                params.extend(p)
+                flops += f
+            layers.append(LayerSpec(prefix, tuple(params), flops))
+            cin = cout
+
+    fc = LayerSpec("fc", (
+        ParameterSpec("fc.weight", cin * 1000),
+        ParameterSpec("fc.bias", 1000),
+    ), 2.0 * cin * 1000)
+    layers.append(fc)
+
+    spec = ModelSpec(
+        name=name,
+        layers=tuple(layers),
+        compute_occupancy=compute_occupancy,
+        category="CV",
+        sample_unit="images",
+        default_batch_size=80,
+        dataset="imagenet",
+        table_flops=table_flops,
+    )
+    return spec.scaled_to(table_params, timing_flops)
+
+
+def build_resnet50() -> ModelSpec:
+    """ResNet-50: 25.6M parameters in ~160 small gradient tensors."""
+    return _build_resnet(
+        "resnet50", _STAGES_50,
+        RESNET50_TABLE1_PARAMETERS, RESNET50_TABLE1_FLOPS,
+        timing_flops=2 * RESNET50_TABLE1_FLOPS,
+        compute_occupancy=0.55,
+    )
+
+
+def build_resnet101() -> ModelSpec:
+    """ResNet-101: deeper variant, 29.4M parameters per the paper."""
+    return _build_resnet(
+        "resnet101", _STAGES_101,
+        RESNET101_TABLE1_PARAMETERS, RESNET101_TABLE1_FLOPS,
+        timing_flops=2 * RESNET101_TABLE1_FLOPS,
+        compute_occupancy=0.60,
+    )

@@ -1,0 +1,115 @@
+"""Transformer-family workload models: Transformer, BERT-Large, GPT-2 XL.
+
+Transformer-based DNNs produce a *large number* of gradient tensors
+(4 attention matrices + 2 MLP matrices + biases + layer norms per block),
+which is why the paper observes that the auto-tuner chooses a *larger*
+communication granularity for them (Section VIII-D): many medium tensors
+pack well into bigger all-reduce units.
+
+Per-sample FLOPs follow Table I (a "sample" is one sequence; Fig. 14's
+batches average 128 tokens per sample).  GPT-2 XL (1,558M parameters) is
+the RDMA showcase of Section VIII-D.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import LayerSpec, ModelSpec, ParameterSpec
+
+TRANSFORMER_TABLE1_PARAMETERS = 66_500_000
+TRANSFORMER_TABLE1_FLOPS = 145e9
+BERT_TABLE1_PARAMETERS = 302_200_000
+BERT_TABLE1_FLOPS = 232e9
+GPT2_XL_PARAMETERS = 1_558_000_000
+#: Not in Table I; scaled from BERT by parameter ratio.
+GPT2_XL_FLOPS = 1200e9
+
+
+def _transformer_block(prefix: str, d_model: int, d_ff: int,
+                       seq_len: int) -> LayerSpec:
+    """One encoder/decoder block: attention + feed-forward + layer norms."""
+    params = []
+    for proj in ("q", "k", "v", "o"):
+        params.append(ParameterSpec(f"{prefix}.attn.{proj}.weight",
+                                    d_model * d_model))
+        params.append(ParameterSpec(f"{prefix}.attn.{proj}.bias", d_model))
+    params.append(ParameterSpec(f"{prefix}.mlp.fc1.weight", d_model * d_ff))
+    params.append(ParameterSpec(f"{prefix}.mlp.fc1.bias", d_ff))
+    params.append(ParameterSpec(f"{prefix}.mlp.fc2.weight", d_ff * d_model))
+    params.append(ParameterSpec(f"{prefix}.mlp.fc2.bias", d_model))
+    for ln in ("ln1", "ln2"):
+        params.append(ParameterSpec(f"{prefix}.{ln}.weight", d_model))
+        params.append(ParameterSpec(f"{prefix}.{ln}.bias", d_model))
+    # 2 FLOPs/MAC: projections + attention scores + MLP, per token.
+    flops_per_token = 2.0 * (4 * d_model * d_model
+                             + 2 * seq_len * d_model
+                             + 2 * d_model * d_ff)
+    return LayerSpec(prefix, tuple(params), flops_per_token * seq_len)
+
+
+def _build_transformer_family(
+    name: str,
+    num_blocks: int,
+    d_model: int,
+    d_ff: int,
+    vocab: int,
+    seq_len: int,
+    table_params: int,
+    table_flops: float,
+    compute_occupancy: float,
+    default_batch_size: int,
+) -> ModelSpec:
+    layers = [LayerSpec("embedding", (
+        ParameterSpec("embedding.weight", vocab * d_model),
+    ), 0.0)]
+    for index in range(num_blocks):
+        layers.append(_transformer_block(f"block{index}", d_model, d_ff,
+                                         seq_len))
+    layers.append(LayerSpec("lm_head", (
+        ParameterSpec("lm_head.weight", d_model * vocab),
+    ), 2.0 * d_model * vocab * seq_len))
+    spec = ModelSpec(
+        name=name,
+        layers=tuple(layers),
+        compute_occupancy=compute_occupancy,
+        category="NLP",
+        sample_unit="sequences",
+        default_batch_size=default_batch_size,
+        dataset="wikitext-en",
+    )
+    return spec.scaled_to(table_params, table_flops)
+
+
+def build_transformer() -> ModelSpec:
+    """The original Transformer (Vaswani et al.), 66.5M parameters."""
+    return _build_transformer_family(
+        "transformer", num_blocks=12, d_model=512, d_ff=2048,
+        vocab=32000, seq_len=128,
+        table_params=TRANSFORMER_TABLE1_PARAMETERS,
+        table_flops=TRANSFORMER_TABLE1_FLOPS,
+        compute_occupancy=0.75,
+        default_batch_size=32,
+    )
+
+
+def build_bert_large() -> ModelSpec:
+    """BERT-Large: 24 blocks, d=1024; 302.2M parameters per Table I."""
+    return _build_transformer_family(
+        "bert-large", num_blocks=24, d_model=1024, d_ff=4096,
+        vocab=30522, seq_len=128,
+        table_params=BERT_TABLE1_PARAMETERS,
+        table_flops=BERT_TABLE1_FLOPS,
+        compute_occupancy=0.85,
+        default_batch_size=16,
+    )
+
+
+def build_gpt2_xl() -> ModelSpec:
+    """GPT-2 XL: 48 blocks, d=1600; 1,558M parameters (Section VIII-D)."""
+    return _build_transformer_family(
+        "gpt2-xl", num_blocks=48, d_model=1600, d_ff=6400,
+        vocab=50257, seq_len=128,
+        table_params=GPT2_XL_PARAMETERS,
+        table_flops=GPT2_XL_FLOPS,
+        compute_occupancy=0.92,
+        default_batch_size=4,
+    )

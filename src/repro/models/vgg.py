@@ -1,0 +1,54 @@
+"""VGG-16 workload model (Simonyan & Zisserman, 2014).
+
+13 convolutional layers followed by 3 fully connected layers.  The FC
+layers hold ~90% of the parameters (fc6 alone is 102.7M), so VGG's
+gradient traffic is dominated by a few huge tensors that appear *early*
+in the backward pass — the classic communication-bound workload where
+the paper reports Horovod scaling efficiency of only 40%.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import LayerSpec, ModelSpec, ParameterSpec
+
+#: (in_channels, out_channels, spatial_size) of each 3x3 conv, 224x224 input.
+_CONV_PLAN = [
+    (3, 64, 224), (64, 64, 224),
+    (64, 128, 112), (128, 128, 112),
+    (128, 256, 56), (256, 256, 56), (256, 256, 56),
+    (256, 512, 28), (512, 512, 28), (512, 512, 28),
+    (512, 512, 14), (512, 512, 14), (512, 512, 14),
+]
+
+#: (in_features, out_features) of the classifier.
+_FC_PLAN = [(25088, 4096), (4096, 4096), (4096, 1000)]
+
+#: Table I targets.
+TABLE1_PARAMETERS = 138_300_000
+TABLE1_FLOPS = 31e9
+
+
+def build_vgg16() -> ModelSpec:
+    """Construct the VGG-16 spec, normalised to the paper's Table I."""
+    layers = []
+    for index, (cin, cout, size) in enumerate(_CONV_PLAN):
+        name = f"conv{index + 1}"
+        weight = ParameterSpec(f"{name}.weight", 9 * cin * cout)
+        bias = ParameterSpec(f"{name}.bias", cout)
+        flops = 2.0 * 9 * cin * cout * size * size
+        layers.append(LayerSpec(name, (weight, bias), flops))
+    for index, (fin, fout) in enumerate(_FC_PLAN):
+        name = f"fc{index + 6}"
+        weight = ParameterSpec(f"{name}.weight", fin * fout)
+        bias = ParameterSpec(f"{name}.bias", fout)
+        layers.append(LayerSpec(name, (weight, bias), 2.0 * fin * fout))
+    spec = ModelSpec(
+        name="vgg16",
+        layers=tuple(layers),
+        compute_occupancy=0.50,
+        category="CV",
+        sample_unit="images",
+        default_batch_size=64,
+        dataset="imagenet",
+    )
+    return spec.scaled_to(TABLE1_PARAMETERS, TABLE1_FLOPS)

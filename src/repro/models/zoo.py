@@ -1,0 +1,68 @@
+"""Model registry and the paper's Table I.
+
+``get_model(name)`` returns a freshly built :class:`ModelSpec` for any
+workload the paper evaluates; ``table1()`` reproduces Table I ("DNN model
+characteristics") from the registered specs.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ReproError
+from repro.models.base import ModelSpec
+from repro.models.ctr import build_ctr
+from repro.models.insightface import build_insightface
+from repro.models.resnet import build_resnet50, build_resnet101
+from repro.models.transformer import (
+    build_bert_large,
+    build_gpt2_xl,
+    build_transformer,
+)
+from repro.models.vgg import build_vgg16
+
+_BUILDERS: dict[str, t.Callable[[], ModelSpec]] = {
+    "vgg16": build_vgg16,
+    "resnet50": build_resnet50,
+    "resnet101": build_resnet101,
+    "transformer": build_transformer,
+    "bert-large": build_bert_large,
+    "gpt2-xl": build_gpt2_xl,
+    "ctr": build_ctr,
+    "insightface-r50": build_insightface,
+}
+
+#: Models that appear in the paper's Table I, in its print order.
+TABLE1_MODELS = ("vgg16", "resnet50", "resnet101", "transformer",
+                 "bert-large")
+
+
+def available_models() -> list[str]:
+    """Names of all registered workload models."""
+    return sorted(_BUILDERS)
+
+
+def get_model(name: str) -> ModelSpec:
+    """Build the named workload model."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return builder()
+
+
+def table1() -> list[dict[str, object]]:
+    """Reproduce Table I: model name, #parameters and #FLOPs."""
+    rows = []
+    for name in TABLE1_MODELS:
+        spec = get_model(name)
+        rows.append({
+            "model": spec.name,
+            "parameters": spec.num_parameters,
+            "flops": spec.reported_flops,
+            "gradients": spec.num_gradients,
+            "gradient_bytes": spec.gradient_bytes,
+        })
+    return rows

@@ -1,0 +1,60 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the paper's physical testbed (Alibaba GPU cloud,
+V100 nodes, 30 Gbps VPC TCP / RDMA) with a deterministic simulator:
+
+- :mod:`repro.sim.kernel` — event loop and virtual clock;
+- :mod:`repro.sim.process` — generator-based processes;
+- :mod:`repro.sim.resources` — semaphores and FIFO channels;
+- :mod:`repro.sim.network` — fluid flow model with max-min fair sharing
+  and per-stream rate caps (the mechanism behind the paper's headline
+  observation that one TCP stream reaches ≤30% of link bandwidth);
+- :mod:`repro.sim.tcp` / :mod:`repro.sim.rdma` — calibrated transports;
+- :mod:`repro.sim.topology` — clusters of V100 nodes;
+- :mod:`repro.sim.cuda` — GPU compute timing and CUDA-stream contention;
+- :mod:`repro.sim.mpi` — per-worker communication daemons;
+- :mod:`repro.sim.tracing` — metric collection.
+"""
+
+from repro.sim.cuda import A100, GPUDevice, GPUSpec, V100
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator
+from repro.sim.mpi import Communicator
+from repro.sim.network import Flow, FluidNetwork, Link
+from repro.sim.process import Process
+from repro.sim.rdma import RDMA, rdma_transport
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.tcp import TCP, tcp_transport
+from repro.sim.topology import Cluster, NodeSpec, alibaba_v100_cluster
+from repro.sim.tracing import Span, Trace
+from repro.sim.transport import TransportModel
+
+__all__ = [
+    "A100",
+    "AllOf",
+    "AnyOf",
+    "Cluster",
+    "Communicator",
+    "Event",
+    "Flow",
+    "FluidNetwork",
+    "GPUDevice",
+    "GPUSpec",
+    "Link",
+    "NodeSpec",
+    "PriorityStore",
+    "Process",
+    "RDMA",
+    "Resource",
+    "Simulator",
+    "Span",
+    "Store",
+    "TCP",
+    "Timeout",
+    "Trace",
+    "TransportModel",
+    "V100",
+    "alibaba_v100_cluster",
+    "rdma_transport",
+    "tcp_transport",
+]

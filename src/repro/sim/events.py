@@ -1,0 +1,184 @@
+"""Core event primitives for the discrete-event simulator.
+
+An :class:`Event` is a one-shot occurrence with an optional value.  Processes
+(see :mod:`repro.sim.process`) yield events to suspend until the event is
+*triggered*.  Events may also *fail*, in which case the exception is thrown
+into every waiting process.
+
+The design follows the SimPy model closely but is self-contained: only the
+pieces needed by this library are implemented, and triggering semantics are
+strict (an event can be triggered exactly once).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+Callback = t.Callable[["Event"], None]
+
+#: Sentinel used for "not yet triggered" values.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.  Events scheduled on one simulator must never
+        be mixed with another simulator instance.
+    name:
+        Optional human-readable label used in traces and error messages.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callback] | None = []
+        self._value: object = _PENDING
+        self._ok: bool = True
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has occurred (successfully or not)."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure.
+
+        Waiting processes will have ``exception`` thrown into them at their
+        yield point.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = exception
+        self._ok = False
+        self.sim._dispatch(self)
+        return self
+
+    # -- observer registration ----------------------------------------------
+
+    def add_callback(self, callback: Callback) -> None:
+        """Invoke ``callback(event)`` when the event triggers.
+
+        If the event has already been dispatched the callback fires
+        immediately (synchronously).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None,
+                 name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"timeout({delay:g})")
+        self.delay = delay
+        sim._schedule_at(sim.now + delay, self, value)
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered successfully.
+
+    The value is a list of the children's values in the order given.  If any
+    child fails, this event fails with the same exception (first failure
+    wins).
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[Event]) -> None:
+        super().__init__(sim, name=f"all_of({len(events)})")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self.events:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(t.cast(BaseException, child.value))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self.events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers.
+
+    The value is the ``(index, value)`` pair of the first child.  A failing
+    first child fails this event.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[Event]) -> None:
+        super().__init__(sim, name=f"any_of({len(events)})")
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, child in enumerate(self.events):
+            child.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callback:
+        def _on_child(child: Event) -> None:
+            if self.triggered:
+                return
+            if child.ok:
+                self.succeed((index, child.value))
+            else:
+                self.fail(t.cast(BaseException, child.value))
+
+        return _on_child

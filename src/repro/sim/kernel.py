@@ -1,0 +1,135 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the pending-event heap.  All
+other simulation components (processes, resources, the network model, the
+GPU model) schedule work through it.
+
+Time is a ``float`` in **seconds**.  Ties are broken by insertion order so
+simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as t
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def worker(sim):
+    ...     yield sim.timeout(1.5)
+    ...     return "done"
+    >>> proc = sim.spawn(worker(sim))
+    >>> sim.run()
+    >>> proc.value
+    'done'
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event, object]] = []
+        self._counter = itertools.count()
+        self._active_processes = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event, value: object) -> None:
+        """Schedule ``event`` to trigger successfully at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self.now})"
+            )
+        heapq.heappush(self._heap, (when, next(self._counter), event, value))
+
+    def _dispatch(self, event: Event) -> None:
+        """Run the callbacks of a freshly triggered event."""
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value=value)
+
+    def all_of(self, events: t.Sequence[Event]) -> AllOf:
+        """An event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: t.Sequence[Event]) -> AnyOf:
+        """An event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    def spawn(self, generator: t.Generator, name: str = "") -> "Process":
+        """Start a new simulated process running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- main loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next scheduled event."""
+        if not self._heap:
+            raise SimulationError("step() called on an empty event queue")
+        when, _, event, value = heapq.heappop(self._heap)
+        self.now = when
+        if not event.triggered:
+            event.succeed(value)
+
+    def run(self, until: float | Event | None = None) -> None:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no scheduled events remain.
+            ``float``
+                run until the clock reaches this absolute time.
+            :class:`Event`
+                run until the event triggers.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {stop!r} triggered"
+                    )
+                self.step()
+        elif until is None:
+            while self._heap:
+                self.step()
+        else:
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self.now})"
+                )
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+
+    @property
+    def queue_length(self) -> int:
+        """Number of scheduled (not yet fired) events."""
+        return len(self._heap)

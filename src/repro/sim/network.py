@@ -1,0 +1,266 @@
+"""Flow-level (fluid) network model with max-min fair bandwidth sharing.
+
+This module reproduces the mechanism at the heart of the paper: a single
+TCP (or RDMA) stream cannot use the full capacity of a physical link, so
+concurrent streams are required to saturate it.
+
+Each :class:`Flow` transfers a fixed number of bytes across a set of
+:class:`Link` objects.  Rates are assigned by progressive filling (max-min
+fairness) subject to an optional **per-flow rate cap** — the per-stream
+efficiency limit of the transport protocol.  Whenever a flow starts or
+finishes, the allocation is recomputed and every in-flight flow's progress
+is advanced.
+
+Capacities and rates are in **bits per second**, sizes in **bits**,
+consistent with the rest of :mod:`repro.sim` (time in seconds).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import typing as t
+
+from repro.errors import NetworkError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+#: Relative tolerance used when comparing rates during water-filling.
+_EPS = 1e-9
+
+#: A flow with less than half a bit outstanding is complete.  Transfers are
+#: at least one byte, so this absorbs floating-point residue from progress
+#: accounting without ever completing a fresh flow early.
+_COMPLETE_BITS = 0.5
+
+
+class Link:
+    """A unidirectional network resource with finite capacity.
+
+    A "link" may model a NIC transmit queue, a NIC receive queue, a switch
+    uplink or an NVLink lane — anything whose capacity is shared by flows.
+    """
+
+    __slots__ = ("name", "capacity_bps", "latency_s", "flows")
+
+    def __init__(self, name: str, capacity_bps: float, latency_s: float = 0.0) -> None:
+        if capacity_bps <= 0:
+            raise NetworkError(f"link {name!r} capacity must be positive")
+        if latency_s < 0:
+            raise NetworkError(f"link {name!r} latency must be non-negative")
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        self.latency_s = float(latency_s)
+        self.flows: set["Flow"] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        gbps = self.capacity_bps / 1e9
+        return f"<Link {self.name} {gbps:.1f}Gbps {len(self.flows)} flows>"
+
+
+class Flow:
+    """A single in-flight data transfer across one or more links."""
+
+    __slots__ = ("flow_id", "links", "remaining_bits", "rate_cap_bps",
+                 "rate_bps", "done", "started_at", "_last_update",
+                 "tail_latency_s")
+
+    _ids = itertools.count()
+
+    def __init__(self, links: t.Sequence[Link], size_bits: float,
+                 rate_cap_bps: float | None, done: Event, now: float,
+                 tail_latency_s: float = 0.0) -> None:
+        if size_bits < 0:
+            raise NetworkError(f"flow size must be non-negative, got {size_bits}")
+        if not links:
+            raise NetworkError("flow must traverse at least one link")
+        if rate_cap_bps is not None and rate_cap_bps <= 0:
+            raise NetworkError("flow rate cap must be positive when given")
+        self.flow_id = next(Flow._ids)
+        self.links = tuple(links)
+        self.remaining_bits = float(size_bits)
+        self.rate_cap_bps = rate_cap_bps
+        self.rate_bps = 0.0
+        self.done = done
+        self.started_at = now
+        self._last_update = now
+        self.tail_latency_s = tail_latency_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow#{self.flow_id} {self.remaining_bits / 8e6:.2f}MB left "
+                f"@ {self.rate_bps / 1e9:.2f}Gbps>")
+
+
+class FluidNetwork:
+    """Tracks active flows and assigns max-min fair rates with caps.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.flows: set[Flow] = set()
+        #: Monotonic token used to invalidate stale wakeup events.
+        self._wakeup_token = 0
+        #: Total bits delivered, for utilisation accounting.
+        self.bits_delivered = 0.0
+
+    # -- public API -------------------------------------------------------
+
+    def start_flow(self, links: t.Sequence[Link], size_bytes: float,
+                   rate_cap_bps: float | None = None,
+                   extra_delay_s: float = 0.0) -> Event:
+        """Begin transferring ``size_bytes`` across ``links``.
+
+        Returns an event that triggers when the last byte has drained plus
+        the sum of the link latencies plus ``extra_delay_s``.  The event's
+        value is the flow's transfer duration in seconds.
+        """
+        done = self.sim.event(name="flow.done")
+        latency = sum(link.latency_s for link in links) + extra_delay_s
+        if size_bytes <= 0:
+            # Pure-latency "transfer" (e.g. a control message of negligible
+            # size); never enters the rate allocator.
+            self.sim._schedule_at(self.sim.now + latency, done, latency)
+            return done
+        flow = Flow(links, size_bytes * 8.0, rate_cap_bps, done, self.sim.now,
+                    tail_latency_s=latency)
+        self._advance_progress()
+        self.flows.add(flow)
+        for link in flow.links:
+            link.flows.add(flow)
+        self._reallocate()
+        return done
+
+    def utilization_of(self, link: Link) -> float:
+        """Instantaneous fraction of ``link`` capacity currently in use."""
+        used = sum(f.rate_bps for f in link.flows)
+        return used / link.capacity_bps
+
+    def set_link_capacity(self, link: Link, capacity_bps: float) -> None:
+        """Change a link's capacity mid-simulation.
+
+        The paper's auto-tuner exists partly because "the underlying
+        network infrastructure ... can vary during runtime" (§I) — this
+        is the hook that varies it.  In-flight flows are re-allocated
+        immediately at the new capacity.
+        """
+        if capacity_bps <= 0:
+            raise NetworkError(
+                f"link {link.name!r} capacity must be positive"
+            )
+        self._advance_progress()
+        link.capacity_bps = float(capacity_bps)
+        self._reallocate()
+
+    # -- engine -----------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Debit every active flow for the time elapsed at its current rate."""
+        now = self.sim.now
+        for flow in self.flows:
+            elapsed = now - flow._last_update
+            if elapsed > 0 and flow.rate_bps > 0:
+                sent = min(flow.rate_bps * elapsed, flow.remaining_bits)
+                flow.remaining_bits -= sent
+                self.bits_delivered += sent
+            flow._last_update = now
+
+    def _reallocate(self) -> None:
+        """Re-run water-filling and schedule the next completion wakeup.
+
+        Finished flows are retired *before* rates are assigned so that their
+        bandwidth is immediately redistributed to the survivors.
+        """
+        self._complete_finished()
+        self._assign_rates()
+        self._schedule_wakeup()
+
+    def _assign_rates(self) -> None:
+        """Progressive-filling max-min fair allocation with per-flow caps."""
+        unassigned = set(self.flows)
+        residual = {link: link.capacity_bps
+                    for flow in unassigned for link in flow.links}
+        load = {link: 0 for link in residual}
+        for flow in unassigned:
+            for link in flow.links:
+                load[link] += 1
+
+        while unassigned:
+            # Fair share currently offered by the most constrained link.
+            share = math.inf
+            for link, cap in residual.items():
+                if load[link] > 0:
+                    share = min(share, cap / load[link])
+            if share is math.inf:  # pragma: no cover - defensive
+                raise NetworkError("active flows traverse no loaded link")
+
+            # Flows whose cap is below the fair share take their cap and
+            # release the surplus to everyone else.
+            capped = [f for f in unassigned
+                      if f.rate_cap_bps is not None
+                      and f.rate_cap_bps <= share * (1 + _EPS)]
+            if capped:
+                for flow in capped:
+                    self._fix_rate(flow, flow.rate_cap_bps, unassigned,
+                                   residual, load)
+                continue
+
+            # Otherwise freeze every flow crossing a bottleneck link.
+            bottlenecked = [
+                f for f in unassigned
+                if any(load[l] > 0
+                       and residual[l] / load[l] <= share * (1 + _EPS)
+                       for l in f.links)
+            ]
+            for flow in bottlenecked:
+                self._fix_rate(flow, share, unassigned, residual, load)
+
+    @staticmethod
+    def _fix_rate(flow: Flow, rate: float, unassigned: set[Flow],
+                  residual: dict[Link, float], load: dict[Link, int]) -> None:
+        flow.rate_bps = max(0.0, rate)
+        unassigned.discard(flow)
+        for link in flow.links:
+            residual[link] = max(0.0, residual[link] - flow.rate_bps)
+            load[link] -= 1
+
+    def _complete_finished(self) -> None:
+        """Fire completion events for flows that have fully drained."""
+        finished = [f for f in self.flows if f.remaining_bits <= _COMPLETE_BITS]
+        for flow in finished:
+            self.flows.discard(flow)
+            for link in flow.links:
+                link.flows.discard(flow)
+            duration = self.sim.now - flow.started_at
+            tail = flow.tail_latency_s
+            self.sim._schedule_at(self.sim.now + tail, flow.done, duration + tail)
+
+    def _schedule_wakeup(self) -> None:
+        """Schedule a kernel event at the earliest next flow completion."""
+        self._wakeup_token += 1
+        token = self._wakeup_token
+        next_finish = math.inf
+        for flow in self.flows:
+            if flow.rate_bps > 0:
+                next_finish = min(next_finish,
+                                  flow.remaining_bits / flow.rate_bps)
+        if next_finish is math.inf:
+            if self.flows:
+                raise NetworkError(
+                    "active flows exist but none can make progress "
+                    "(all rates are zero)"
+                )
+            return
+        wakeup = self.sim.event(name="network.wakeup")
+        wakeup.add_callback(lambda _ev: self._on_wakeup(token))
+        self.sim._schedule_at(self.sim.now + next_finish, wakeup, None)
+
+    def _on_wakeup(self, token: int) -> None:
+        if token != self._wakeup_token:
+            return  # a newer allocation superseded this wakeup
+        self._advance_progress()
+        self._reallocate()

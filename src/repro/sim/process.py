@@ -1,0 +1,116 @@
+"""Generator-based simulated processes.
+
+A process wraps a Python generator.  The generator yields :class:`Event`
+objects (timeouts, resource acquisitions, other processes, ...) to suspend;
+when the yielded event triggers, the process resumes with the event's value.
+A failing event has its exception thrown into the generator, so ordinary
+``try/except`` works inside simulated code.
+
+A :class:`Process` is itself an :class:`Event` that triggers when the
+generator returns (value = the ``return`` value) or raises.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Process(Event):
+    """A running simulated process.  Also an event: fires on termination."""
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: t.Generator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process at the current simulation instant, but through
+        # the event queue so that spawn order does not matter.
+        bootstrap = sim.event(name=f"{self.name}.start")
+        self._waiting_on = bootstrap
+        bootstrap.add_callback(self._resume)
+        sim._schedule_at(sim.now, bootstrap, None)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process generator is still running."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process at its yield point.
+
+        Interrupting a terminated process is an error.  The event the process
+        was waiting on remains pending; the process may re-wait on it.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        waiting = self._waiting_on
+        if waiting is None:
+            raise SimulationError(
+                f"process {self!r} is not waiting; cannot interrupt during startup"
+            )
+        self._waiting_on = None
+        self._step(ProcessInterrupt(cause), throw=True)
+
+    # -- engine -----------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Callback fired when the event this process waits on triggers."""
+        if self._waiting_on is not event:
+            # The process was interrupted while waiting and has moved on;
+            # ignore the stale wakeup.
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: object, throw: bool) -> None:
+        """Advance the generator one yield."""
+        try:
+            if throw:
+                target = self.generator.throw(t.cast(BaseException, value))
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.callbacks is not None and not self.callbacks:
+                # Nobody is watching this process: surface the crash rather
+                # than swallowing it into an un-observed failed event.
+                raise
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            crash = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
+            self.generator.close()
+            self.fail(crash)
+            return
+        if target.sim is not self.sim:
+            self.generator.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded an event from a different simulator"
+            ))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,201 @@
+"""Shared-resource primitives for simulated processes.
+
+Three primitives cover the library's needs:
+
+:class:`Resource`
+    A counting semaphore with FIFO queuing (GPU SM slots, CPU cores,
+    communication-thread-pool slots).
+:class:`Store`
+    An unbounded FIFO channel of Python objects (message queues between the
+    training worker and the MPI daemon, MPI mailboxes).
+:class:`PriorityStore`
+    A :class:`Store` whose items are retrieved smallest-first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as t
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Resource:
+    """A counting semaphore with FIFO fairness.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self.in_use = 0
+        self._waiters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self.in_use
+
+    def acquire(self, count: int = 1) -> Event:
+        """Return an event firing once ``count`` slots are held atomically.
+
+        Multi-slot requests are granted all-or-nothing in strict FIFO
+        order (no bypass), so two half-satisfied requests can never
+        deadlock each other.  Requests larger than the current capacity
+        are granted when the pool is idle, holding the whole pool.
+        """
+        self._check_count(count)
+        event = self.sim.event(name=f"{self.name}.acquire")
+        if not self._waiters and self._fits(count):
+            self.in_use += count
+            self.sim._schedule_at(self.sim.now, event, None)
+        else:
+            self._waiters.append((event, count))
+        return event
+
+    def try_acquire(self, count: int = 1) -> bool:
+        """Take ``count`` slots immediately if available; never blocks."""
+        self._check_count(count)
+        if not self._waiters and self._fits(count):
+            self.in_use += count
+            return True
+        return False
+
+    def release(self, count: int = 1) -> None:
+        """Return ``count`` slots, waking waiters FIFO as capacity allows.
+
+        Capacity-aware: after a shrinking :meth:`resize`, released slots
+        are retired instead of handed to waiters until usage fits the new
+        capacity.
+        """
+        self._check_count(count)
+        if self.in_use < count:
+            raise SimulationError(
+                f"release({count}) exceeds held slots on {self.name!r}"
+            )
+        self.in_use -= count
+        self._wake_waiters()
+
+    def _fits(self, count: int) -> bool:
+        """Whether a request for ``count`` slots can be granted now.
+
+        Oversized requests (count > capacity) are granted only on an idle
+        pool, so they make progress instead of waiting forever.
+        """
+        if self.in_use + count <= self.capacity:
+            return True
+        return self.in_use == 0 and count > self.capacity
+
+    @staticmethod
+    def _check_count(count: int) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity (elastic pools, compute-aware streams).
+
+        Growing wakes waiters immediately; shrinking never interrupts
+        holders — usage drains down to the new capacity as slots are
+        released.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        while self._waiters:
+            event, count = self._waiters[0]
+            if not self._fits(count):
+                break
+            self._waiters.popleft()
+            self.in_use += count
+            self.sim._schedule_at(self.sim.now, event, None)
+
+
+class Store:
+    """An unbounded FIFO channel between simulated processes."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "store"
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            event = self._getters.popleft()
+            self.sim._schedule_at(self.sim.now, event, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event whose value is the next item (FIFO order)."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            self.sim._schedule_at(self.sim.now, event, self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, object]:
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class PriorityStore:
+    """A store whose :meth:`get` returns the smallest item first.
+
+    Items must be comparable; ties are broken by insertion order.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "priority_store"
+        self._heap: list[tuple[object, int, object]] = []
+        self._counter = itertools.count()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: object, priority: object | None = None) -> None:
+        """Deposit ``item`` with ``priority`` (defaults to the item itself)."""
+        key = item if priority is None else priority
+        if self._getters:
+            event = self._getters.popleft()
+            self.sim._schedule_at(self.sim.now, event, item)
+        else:
+            heapq.heappush(self._heap, (key, next(self._counter), item))
+
+    def get(self) -> Event:
+        """Return an event whose value is the smallest-priority item."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            self.sim._schedule_at(self.sim.now, event, item)
+        else:
+            self._getters.append(event)
+        return event

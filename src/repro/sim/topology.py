@@ -1,0 +1,223 @@
+"""Cluster topology: nodes, GPUs, NICs and the links between them.
+
+The evaluation platform of the paper (Section VII-A) is the Alibaba
+``ecs.gn6e-c12g1.24xlarge`` instance: 8× NVLink-enabled 32 GB V100 GPUs per
+node, nodes connected by a 30 Gbps VPC TCP/IP network (RDMA in §VIII-D).
+
+A :class:`Cluster` owns the simulator-facing :class:`~repro.sim.network.Link`
+objects.  Because the paper's experiments are symmetric (identical nodes,
+identical NICs, isolated machines), the timed collective executor may run in
+*representative* mode: only one NIC pair is simulated and, by symmetry, its
+rates equal those of every other NIC.  Asymmetric experiments (congested
+links motivating tree all-reduce) build the full link set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.sim.cuda import GPUDevice, GPUSpec, V100
+from repro.sim.kernel import Simulator
+from repro.sim.network import Link
+from repro.sim.tcp import TCP
+from repro.sim.transport import TransportModel
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one computing node."""
+
+    gpus_per_node: int = 8
+    gpu: GPUSpec = V100
+    #: Raw NIC bandwidth in bits/second (30 Gbps on the evaluation platform).
+    nic_bandwidth_bps: float = 30e9
+    transport: TransportModel = TCP
+    cpu_cores: int = 96
+    #: One-way latency between GPUs of the same node over NVLink/PCIe.
+    intra_node_latency_s: float = 5e-6
+    #: One-way latency between nodes over the datacenter network.
+    inter_node_latency_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node < 1:
+            raise TopologyError("gpus_per_node must be >= 1")
+        if self.nic_bandwidth_bps <= 0:
+            raise TopologyError("nic_bandwidth_bps must be positive")
+
+
+class Cluster:
+    """A set of identical nodes joined by a non-blocking datacenter fabric.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator; all links belong to it.
+    num_nodes:
+        Number of computing nodes.
+    node_spec:
+        Per-node hardware description.
+    congested_links:
+        Optional mapping ``node_index -> capacity_fraction`` modelling bursty
+        cross-traffic from other cloud tenants: that node's NIC capacity is
+        multiplied by the fraction.  Used by the tree-all-reduce experiments.
+    core_oversubscription:
+        Oversubscription ratio of the datacenter core.  1.0 (default)
+        models a non-blocking fabric; ``k > 1`` inserts a shared core
+        link of capacity ``num_nodes x NIC / k`` that every inter-node
+        flow traverses — the classic leaf-spine oversubscription that
+        makes congestion-aware algorithm choice matter.
+    """
+
+    def __init__(self, sim: Simulator, num_nodes: int,
+                 node_spec: NodeSpec | None = None,
+                 congested_links: t.Mapping[int, float] | None = None,
+                 core_oversubscription: float = 1.0) -> None:
+        if num_nodes < 1:
+            raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.spec = node_spec or NodeSpec()
+        self.congestion = dict(congested_links or {})
+        if core_oversubscription < 1.0:
+            raise TopologyError("core_oversubscription must be >= 1")
+        self.core_oversubscription = core_oversubscription
+        for node, fraction in self.congestion.items():
+            if not 0 <= node < num_nodes:
+                raise TopologyError(f"congested node {node} out of range")
+            if not 0 < fraction <= 1:
+                raise TopologyError("congestion fraction must be in (0, 1]")
+
+        transport = self.spec.transport
+        self.nic_out: list[Link] = []
+        self.nic_in: list[Link] = []
+        for node in range(num_nodes):
+            scale = self.congestion.get(node, 1.0)
+            raw = self.spec.nic_bandwidth_bps * scale
+            capacity = transport.effective_capacity_bps(raw)
+            latency = self.spec.inter_node_latency_s / 2
+            self.nic_out.append(Link(f"node{node}.nic.out", capacity, latency))
+            self.nic_in.append(Link(f"node{node}.nic.in", capacity, latency))
+        #: Shared datacenter core (None for a non-blocking fabric).
+        self.core: Link | None = None
+        if core_oversubscription > 1.0 and num_nodes > 1:
+            core_capacity = (num_nodes
+                             * transport.effective_capacity_bps(
+                                 self.spec.nic_bandwidth_bps)
+                             / core_oversubscription)
+            self.core = Link("core", core_capacity, latency_s=0.0)
+        #: Per-node NVLink fabric, modelled as one shared intra-node link.
+        self.nvlink: list[Link] = [
+            Link(f"node{node}.nvlink", self.spec.gpu.nvlink_bps,
+                 self.spec.intra_node_latency_s)
+            for node in range(num_nodes)
+        ]
+        self.gpu_device = GPUDevice(self.spec.gpu)
+
+    # -- rank arithmetic -----------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        """Total number of GPU workers."""
+        return self.num_nodes * self.spec.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting worker ``rank``."""
+        self._check_rank(rank)
+        return rank // self.spec.gpus_per_node
+
+    def local_rank(self, rank: int) -> int:
+        """GPU index of worker ``rank`` within its node."""
+        self._check_rank(rank)
+        return rank % self.spec.gpus_per_node
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise TopologyError(
+                f"rank {rank} out of range for world size {self.world_size}"
+            )
+
+    # -- link selection --------------------------------------------------------
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when one NIC's flow pattern represents every NIC.
+
+        Congested links break symmetry directly; a shared oversubscribed
+        core breaks it too, because the core carries *all* nodes' flows
+        and a representative 1/m sample would undercount its load.
+        """
+        return not self.congestion and self.core is None
+
+    def stream_cap_bps(self, node: int = 0) -> float:
+        """Per-stream rate cap on ``node``'s NIC."""
+        scale = self.congestion.get(node, 1.0)
+        raw = self.spec.nic_bandwidth_bps * scale
+        return self.spec.transport.stream_cap_bps(raw)
+
+    def path_between(self, src_rank: int, dst_rank: int) -> list[Link]:
+        """Links traversed by a message from ``src_rank`` to ``dst_rank``."""
+        src_node = self.node_of(src_rank)
+        dst_node = self.node_of(dst_rank)
+        if src_rank == dst_rank:
+            return []
+        if src_node == dst_node:
+            return [self.nvlink[src_node]]
+        path = [self.nic_out[src_node], self.nic_in[dst_node]]
+        if self.core is not None:
+            path.insert(1, self.core)
+        return path
+
+    def representative_hop(self) -> list[Link]:
+        """The NIC pair used in representative (symmetric) simulations."""
+        if self.num_nodes == 1:
+            raise TopologyError("single-node cluster has no inter-node hop")
+        return [self.nic_out[0], self.nic_in[1 % self.num_nodes]]
+
+    # -- similarity support (autotuner cache) -----------------------------------
+
+    def topology_graph(self) -> nx.Graph:
+        """Undirected graph of nodes with bandwidth edge attributes.
+
+        Used by the auto-tuner's settings cache, which matches previously
+        seen deployments via graph edit distance (paper Section VI).
+        """
+        graph = nx.Graph()
+        for node in range(self.num_nodes):
+            graph.add_node(node, gpus=self.spec.gpus_per_node,
+                           gpu=self.spec.gpu.name)
+        for a in range(self.num_nodes):
+            for b in range(a + 1, self.num_nodes):
+                scale = min(self.congestion.get(a, 1.0),
+                            self.congestion.get(b, 1.0))
+                graph.add_edge(a, b,
+                               bandwidth=self.spec.nic_bandwidth_bps * scale)
+        return graph
+
+
+def alibaba_v100_cluster(sim: Simulator, num_gpus: int,
+                         transport: TransportModel = TCP,
+                         nic_bandwidth_bps: float = 30e9,
+                         gpus_per_node: int = 8,
+                         gpu: GPUSpec = V100) -> Cluster:
+    """Build the paper's evaluation cluster for ``num_gpus`` workers.
+
+    GPUs are packed 8 per node (``ecs.gn6e-c12g1.24xlarge``); ``num_gpus``
+    below 8 yields a single partially filled node.
+    """
+    if num_gpus < 1:
+        raise TopologyError(f"num_gpus must be >= 1, got {num_gpus}")
+    if num_gpus < gpus_per_node:
+        gpus_per_node = num_gpus
+    if num_gpus % gpus_per_node != 0:
+        raise TopologyError(
+            f"num_gpus={num_gpus} is not a multiple of "
+            f"gpus_per_node={gpus_per_node}"
+        )
+    spec = NodeSpec(gpus_per_node=gpus_per_node,
+                    nic_bandwidth_bps=nic_bandwidth_bps,
+                    transport=transport, gpu=gpu)
+    return Cluster(sim, num_gpus // gpus_per_node, spec)

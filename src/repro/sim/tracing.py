@@ -1,0 +1,115 @@
+"""Lightweight tracing and metric accumulation for simulations.
+
+Training engines record spans (named intervals of simulated time) and
+counters here; the harness turns them into the utilisation and throughput
+numbers the paper reports (e.g. "a single stream utilises ≤30% of the
+link").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+from collections import defaultdict
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """A named interval of simulated time with optional metadata."""
+
+    name: str
+    start: float
+    end: float
+    meta: t.Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Collects spans, point events and counters from a simulation run."""
+
+    def __init__(self, enabled: bool = True, keep_spans: bool = False) -> None:
+        #: When disabled, all recording methods are near-free no-ops.
+        self.enabled = enabled
+        #: Retain individual spans (memory-hungry for long runs).
+        self.keep_spans = keep_spans
+        self.spans: list[Span] = []
+        self.busy_time: dict[str, float] = defaultdict(float)
+        self.counters: dict[str, float] = defaultdict(float)
+        self.points: list[tuple[str, float, dict]] = []
+
+    def add_span(self, name: str, start: float, end: float,
+                 **meta: object) -> None:
+        """Record that activity ``name`` occupied [start, end]."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self.busy_time[name] += end - start
+        if self.keep_spans:
+            self.spans.append(Span(name, start, end, meta))
+
+    def incr(self, counter: str, amount: float = 1.0) -> None:
+        """Increase a named counter."""
+        if self.enabled:
+            self.counters[counter] += amount
+
+    def point(self, name: str, time: float, **meta: object) -> None:
+        """Record a point event (kept only when ``keep_spans`` is set)."""
+        if self.enabled and self.keep_spans:
+            self.points.append((name, time, dict(meta)))
+
+    def busy_fraction(self, name: str, total_time: float) -> float:
+        """Fraction of ``total_time`` spent in activity ``name``."""
+        if total_time <= 0:
+            raise ValueError("total_time must be positive")
+        return self.busy_time.get(name, 0.0) / total_time
+
+    def merge(self, other: "Trace") -> None:
+        """Fold another trace's accumulators into this one."""
+        for name, value in other.busy_time.items():
+            self.busy_time[name] += value
+        for name, value in other.counters.items():
+            self.counters[name] += value
+        self.spans.extend(other.spans)
+        self.points.extend(other.points)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Export spans/points as Chrome trace-event JSON objects.
+
+        Load the result (``json.dump`` of this list) in
+        ``chrome://tracing`` or Perfetto to inspect the simulated
+        timeline.  Requires the trace to have been created with
+        ``keep_spans=True``.  Timestamps are microseconds, as the trace
+        format expects.
+        """
+        if not self.keep_spans:
+            raise ValueError(
+                "chrome export needs keep_spans=True at Trace creation"
+            )
+        events: list[dict] = []
+        for span in self.spans:
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 0,
+                "tid": abs(hash(span.name)) % 64,
+                "args": {key: repr(value)
+                         for key, value in span.meta.items()},
+            })
+        for name, time, meta in self.points:
+            events.append({
+                "name": name,
+                "ph": "i",
+                "ts": time * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "s": "g",
+                "args": {key: repr(value) for key, value in meta.items()},
+            })
+        events.sort(key=lambda event: event["ts"])
+        return events

@@ -1,0 +1,89 @@
+"""Asynchronous data parallelism (bounded staleness).
+
+The paper's footnote 1 lists "asynchronous-data parallelism" among the
+strategies AIACC-Training supports.  This module provides the numeric
+semantics: workers apply gradients computed against parameters that are
+up to ``staleness`` steps old — the classic stale-synchronous-parallel
+model.  It exists so the trade-off can be *measured*: higher staleness
+removes synchronization stalls but degrades convergence, which is why
+the paper (and this reproduction) focus on the synchronous path.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.training.numeric import SyntheticTask, TinyMLP
+from repro.training.optimizer import Optimizer
+
+State = t.Dict[str, np.ndarray]
+
+
+class StaleGradientTrainer:
+    """Single-copy parameter server applying delayed worker gradients.
+
+    A central parameter copy is updated by gradients that each worker
+    computed ``staleness`` applications ago (staleness 0 = fully
+    synchronous sequential SGD over worker contributions).
+    """
+
+    def __init__(self, model: TinyMLP, optimizer: Optimizer,
+                 num_workers: int, staleness: int = 1) -> None:
+        if num_workers < 1:
+            raise TrainingError("num_workers must be >= 1")
+        if staleness < 0:
+            raise TrainingError("staleness must be >= 0")
+        self.parameters = model.clone_parameters()
+        self.optimizer = optimizer
+        self.num_workers = num_workers
+        self.staleness = staleness
+        #: FIFO of pending gradients (the delay line).
+        self._in_flight: list[State] = []
+
+    def train(self, task: SyntheticTask, steps: int,
+              batch_per_worker: int) -> list[float]:
+        """Run ``steps`` rounds; returns the loss trajectory."""
+        losses: list[float] = []
+        cursor = 0
+        for _ in range(steps):
+            round_losses = []
+            for _worker in range(self.num_workers):
+                lo = cursor % (len(task.inputs) - batch_per_worker + 1)
+                hi = lo + batch_per_worker
+                cursor += batch_per_worker
+                loss, grads = TinyMLP.loss_and_grads(
+                    self.parameters, task.inputs[lo:hi],
+                    task.labels[lo:hi])
+                round_losses.append(loss)
+                self._in_flight.append(grads)
+                # Apply the gradient that has aged past the bound.
+                if len(self._in_flight) > self.staleness:
+                    stale = self._in_flight.pop(0)
+                    self.optimizer.step(self.parameters, stale)
+            losses.append(float(np.mean(round_losses)))
+        # Drain the delay line so no contribution is lost.
+        while self._in_flight:
+            self.optimizer.step(self.parameters, self._in_flight.pop(0))
+        return losses
+
+
+def async_iteration_time_s(sync_iteration_s: float,
+                           exposed_comm_s: float,
+                           staleness: int) -> float:
+    """Timing model: staleness hides exposed communication.
+
+    With staleness ``s``, up to ``s`` communication rounds overlap with
+    compute, so the exposed communication shrinks geometrically; at
+    s = 0 the synchronous time is returned unchanged.
+    """
+    if sync_iteration_s <= 0 or exposed_comm_s < 0:
+        raise TrainingError("times must be positive")
+    if exposed_comm_s > sync_iteration_s:
+        raise TrainingError("exposed comm cannot exceed iteration time")
+    if staleness < 0:
+        raise TrainingError("staleness must be >= 0")
+    hidden = exposed_comm_s * (1.0 - 0.5 ** staleness)
+    return sync_iteration_s - hidden

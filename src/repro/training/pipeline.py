@@ -1,0 +1,224 @@
+"""Pipeline parallelism (GPipe-style), combinable with data parallelism.
+
+The paper states AIACC-Training supports "data, model and pipeline
+parallelisms or a mixture of these parallelization strategies" (§I
+footnote, §IV).  This module provides both faces:
+
+* **timed** — :func:`run_pipeline_training` partitions a model into
+  balanced stages, derives the per-GPU shard, adds the pipeline *bubble*
+  ((S-1)/(M+S-1) of compute idle for S stages and M micro-batches) and
+  the inter-stage activation traffic, then reuses the standard trainer so
+  every communication backend can be compared under pipeline parallelism;
+* **numeric** — :class:`NumericPipeline` executes a two-stage TinyMLP
+  with real micro-batch scheduling and activation/grad-activation
+  exchanges, and is provably equivalent to non-pipelined training
+  (synchronous GPipe does not change the math).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.models.base import ModelSpec
+from repro.models.zoo import get_model
+from repro.sim.cuda import V100
+from repro.training.trainer import ThroughputResult, run_training
+
+State = t.Dict[str, np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelinePlan:
+    """Partition of a model into pipeline stages."""
+
+    model: ModelSpec
+    num_stages: int
+    micro_batches: int
+    #: Layer index ranges [start, end) per stage, FLOPs-balanced.
+    stage_bounds: tuple[tuple[int, int], ...]
+    #: Activation bytes crossing each stage boundary per sample.
+    activation_bytes_per_sample: float
+
+    def __post_init__(self) -> None:
+        if self.num_stages < 1:
+            raise TrainingError("num_stages must be >= 1")
+        if self.micro_batches < 1:
+            raise TrainingError("micro_batches must be >= 1")
+        if len(self.stage_bounds) != self.num_stages:
+            raise TrainingError("stage_bounds/num_stages mismatch")
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the pipeline: (S-1) / (M+S-1) (GPipe)."""
+        s, m = self.num_stages, self.micro_batches
+        return (s - 1) / (m + s - 1)
+
+    def stage_spec(self, stage: int) -> ModelSpec:
+        """The ModelSpec of one stage's layer slice."""
+        lo, hi = self.stage_bounds[stage]
+        layers = self.model.layers[lo:hi]
+        return dataclasses.replace(self.model,
+                                   name=f"{self.model.name}.stage{stage}",
+                                   layers=layers)
+
+    def heaviest_stage_spec(self) -> ModelSpec:
+        """The stage that paces the pipeline (most FLOPs)."""
+        return max((self.stage_spec(s) for s in range(self.num_stages)),
+                   key=lambda spec: spec.forward_flops)
+
+
+def plan_pipeline(model: str | ModelSpec, num_stages: int,
+                  micro_batches: int | None = None) -> PipelinePlan:
+    """FLOPs-balanced contiguous partition of a model into stages.
+
+    ``micro_batches`` defaults to ``4 x num_stages`` (the GPipe paper's
+    recommendation for keeping the bubble below ~20%).
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    if num_stages < 1 or num_stages > len(spec.layers):
+        raise TrainingError(
+            f"num_stages must be in [1, {len(spec.layers)}]"
+        )
+    micro = micro_batches if micro_batches is not None else 4 * num_stages
+
+    # Greedy balanced partition over the layer FLOPs prefix sums.
+    total = spec.forward_flops
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    target = total / num_stages
+    for index, layer in enumerate(spec.layers):
+        acc += layer.forward_flops
+        remaining_layers = len(spec.layers) - index - 1
+        remaining_stages = num_stages - len(bounds) - 1
+        if (acc >= target and remaining_stages > 0) or \
+                remaining_layers < remaining_stages:
+            bounds.append((start, index + 1))
+            start = index + 1
+            acc = 0.0
+            if len(bounds) == num_stages - 1:
+                break
+    bounds.append((start, len(spec.layers)))
+    while len(bounds) < num_stages:  # degenerate tiny models
+        bounds.append((len(spec.layers), len(spec.layers)))
+
+    # Activation volume at a stage cut ~ hidden width; reuse the hybrid
+    # heuristic scaled down (only one boundary tensor, not all layers).
+    activation_bytes = 4.0 * spec.num_parameters ** 0.75
+
+    return PipelinePlan(
+        model=spec,
+        num_stages=num_stages,
+        micro_batches=micro,
+        stage_bounds=tuple(bounds),
+        activation_bytes_per_sample=activation_bytes,
+    )
+
+
+def run_pipeline_training(model: str | ModelSpec, backend: str,
+                          num_gpus: int, num_stages: int = 4,
+                          micro_batches: int | None = None,
+                          batch_per_pipeline: int | None = None,
+                          **train_kwargs: t.Any) -> ThroughputResult:
+    """Timed pipeline + data parallel training.
+
+    ``num_gpus`` GPUs form ``num_gpus / num_stages`` pipeline replicas;
+    replicas are data-parallel, so each stage's parameter shard
+    all-reduces with its counterparts through the chosen backend.
+    """
+    plan = plan_pipeline(model, num_stages, micro_batches)
+    if num_gpus % plan.num_stages != 0:
+        raise TrainingError(
+            f"num_gpus={num_gpus} not divisible by num_stages="
+            f"{plan.num_stages}"
+        )
+    batch = batch_per_pipeline or plan.model.default_batch_size
+
+    # Per-GPU view: the pacing stage's compute, stretched by the bubble,
+    # plus inter-stage activation exchange (M transfers each way; stages
+    # are placed on consecutive GPUs of a node, so NVLink carries them).
+    pacing = plan.heaviest_stage_spec()
+    gpu_flops_rate = V100.peak_fp32_flops * V100.compute_efficiency
+    stage_compute = 3.0 * pacing.forward_flops * batch / gpu_flops_rate
+    bubble_time = stage_compute * plan.bubble_fraction / \
+        max(1e-12, 1.0 - plan.bubble_fraction)
+    activation_time = (2.0 * plan.activation_bytes_per_sample * batch
+                       * 8.0 / V100.nvlink_bps)
+
+    result = run_training(
+        pacing, backend, num_gpus,
+        batch_per_gpu=batch,
+        extra_forward_time_s=bubble_time + activation_time,
+        **train_kwargs,
+    )
+    # A pipeline replica of S GPUs jointly processes `batch` samples.
+    return dataclasses.replace(
+        result, batch_per_gpu=max(1, batch // plan.num_stages))
+
+
+class NumericPipeline:
+    """Two-stage micro-batched pipeline over a :class:`TinyMLP`.
+
+    Stage 0 owns ``fc1`` (+tanh), stage 1 owns ``fc2`` (+softmax/CE).
+    Forward activations flow 0→1 per micro-batch; activation gradients
+    flow back 1→0; each stage accumulates parameter gradients over all
+    micro-batches, then averages — mathematically identical to one
+    full-batch backward pass.
+    """
+
+    def __init__(self, parameters: State, micro_batches: int = 4) -> None:
+        if micro_batches < 1:
+            raise TrainingError("micro_batches must be >= 1")
+        self.parameters = parameters
+        self.micro_batches = micro_batches
+
+    def loss_and_grads(self, inputs: np.ndarray,
+                       labels: np.ndarray) -> tuple[float, State]:
+        """Micro-batched forward/backward; returns mean loss and grads."""
+        if len(inputs) % self.micro_batches != 0:
+            raise TrainingError(
+                f"batch {len(inputs)} not divisible by "
+                f"{self.micro_batches} micro-batches"
+            )
+        shard = len(inputs) // self.micro_batches
+        p = self.parameters
+        grads = {name: np.zeros_like(value) for name, value in p.items()}
+        losses = []
+
+        # Forward pass of every micro-batch (stage 0 then stage 1),
+        # stashing activations exactly as a pipeline schedule would.
+        stashed = []
+        for m in range(self.micro_batches):
+            x = inputs[m * shard:(m + 1) * shard]
+            hidden = np.tanh(x @ p["fc1.weight"] + p["fc1.bias"])
+            stashed.append((x, hidden))
+        for m in range(self.micro_batches):
+            x, hidden = stashed[m]
+            y = labels[m * shard:(m + 1) * shard]
+            logits = hidden @ p["fc2.weight"] + p["fc2.bias"]
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            losses.append(float(
+                -np.log(probs[np.arange(shard), y] + 1e-12).mean()))
+
+            # Stage-1 backward; activation gradient travels to stage 0.
+            dlogits = probs
+            dlogits[np.arange(shard), y] -= 1.0
+            dlogits /= shard
+            grads["fc2.weight"] += hidden.T @ dlogits
+            grads["fc2.bias"] += dlogits.sum(axis=0)
+            dhidden = dlogits @ p["fc2.weight"].T
+
+            # Stage-0 backward.
+            dpre = dhidden * (1.0 - hidden ** 2)
+            grads["fc1.weight"] += x.T @ dpre
+            grads["fc1.bias"] += dpre.sum(axis=0)
+
+        scale = 1.0 / self.micro_batches
+        return float(np.mean(losses)), {
+            name: value * scale for name, value in grads.items()}

@@ -1,0 +1,209 @@
+"""Failure injection for long training runs (paper §IV fault tolerance).
+
+AIACC-Training "provides fault-tolerance to restart the training process
+from the last checkpoint upon node failure".  This module quantifies
+that: given a measured per-iteration time, a checkpoint cadence and a
+failure schedule, it computes the wall-clock cost of failures — lost
+work since the last checkpoint, restart overhead, and the parameter
+broadcast to the rebuilt worker group — and the resulting *goodput*.
+
+It answers the operational question behind the feature: how often should
+a production job checkpoint, given its failure rate?
+(:func:`optimal_checkpoint_interval` implements Young's classic
+approximation for comparison.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.errors import TrainingError
+from repro.models.base import ModelSpec
+from repro.models.zoo import get_model
+
+#: Sustained write bandwidth of cloud block storage for checkpoints.
+CHECKPOINT_WRITE_BPS = 2e9 * 8
+
+#: Process respawn + communicator re-bootstrap after a node failure.
+DEFAULT_RESTART_OVERHEAD_S = 30.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceResult:
+    """Outcome of a failure-injected training simulation."""
+
+    total_iterations: int
+    completed_iterations: int
+    wasted_iterations: int
+    ideal_time_s: float
+    total_time_s: float
+    checkpoint_time_s: float
+    recovery_time_s: float
+    failures: int
+
+    @property
+    def goodput(self) -> float:
+        """Useful-work fraction: ideal time / actual time."""
+        return self.ideal_time_s / self.total_time_s
+
+    @property
+    def overhead_fraction(self) -> float:
+        return 1.0 - self.goodput
+
+
+def checkpoint_write_time_s(model: str | ModelSpec) -> float:
+    """Seconds to persist one fp32 copy of the model parameters."""
+    spec = get_model(model) if isinstance(model, str) else model
+    return spec.gradient_bytes * 8.0 / CHECKPOINT_WRITE_BPS
+
+
+def broadcast_time_s(model: str | ModelSpec,
+                     stream_bps: float = 7.5e9) -> float:
+    """Seconds to propagate parameters to a rebuilt/joining worker."""
+    spec = get_model(model) if isinstance(model, str) else model
+    return spec.gradient_bytes * 8.0 / stream_bps
+
+
+def simulate_resilient_training(
+    model: str | ModelSpec,
+    iteration_time_s: float,
+    total_iterations: int,
+    checkpoint_interval: int,
+    failure_at: t.Sequence[int] = (),
+    restart_overhead_s: float = DEFAULT_RESTART_OVERHEAD_S,
+) -> ResilienceResult:
+    """Walk a training run with checkpoints and injected failures.
+
+    Parameters
+    ----------
+    iteration_time_s:
+        Steady-state iteration time (e.g. from
+        :func:`repro.training.trainer.run_training`).
+    checkpoint_interval:
+        Iterations between checkpoints (a checkpoint is written *after*
+        every ``checkpoint_interval``-th iteration).
+    failure_at:
+        Iteration indices (0-based, in completed-work coordinates) at
+        which a node fails; work since the last checkpoint is lost.
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    if iteration_time_s <= 0:
+        raise TrainingError("iteration_time_s must be positive")
+    if total_iterations < 1 or checkpoint_interval < 1:
+        raise TrainingError("iterations/interval must be >= 1")
+    failures = sorted(set(failure_at))
+    if failures and (failures[0] < 0 or failures[-1] >= total_iterations):
+        raise TrainingError("failure indices out of range")
+
+    ckpt_time = checkpoint_write_time_s(spec)
+    recovery_unit = restart_overhead_s + broadcast_time_s(spec)
+
+    time = 0.0
+    ckpt_total = 0.0
+    recovery_total = 0.0
+    wasted = 0
+    completed = 0
+    last_checkpoint = 0
+    failure_queue = list(failures)
+
+    while completed < total_iterations:
+        time += iteration_time_s
+        completed += 1
+        if failure_queue and completed - 1 == failure_queue[0]:
+            failure_queue.pop(0)
+            lost = completed - last_checkpoint
+            wasted += lost
+            completed = last_checkpoint
+            recovery_total += recovery_unit
+            time += recovery_unit
+            continue
+        if completed % checkpoint_interval == 0 and \
+                completed != last_checkpoint:
+            ckpt_total += ckpt_time
+            time += ckpt_time
+            last_checkpoint = completed
+
+    return ResilienceResult(
+        total_iterations=total_iterations,
+        completed_iterations=total_iterations,
+        wasted_iterations=wasted,
+        ideal_time_s=total_iterations * iteration_time_s,
+        total_time_s=time,
+        checkpoint_time_s=ckpt_total,
+        recovery_time_s=recovery_total,
+        failures=len(failures),
+    )
+
+
+def optimal_checkpoint_interval(iteration_time_s: float,
+                                mean_iterations_between_failures: float,
+                                model: str | ModelSpec) -> int:
+    """Young's approximation: sqrt(2 x ckpt_cost x MTBF), in iterations."""
+    spec = get_model(model) if isinstance(model, str) else model
+    if iteration_time_s <= 0 or mean_iterations_between_failures <= 0:
+        raise TrainingError("inputs must be positive")
+    ckpt_cost = checkpoint_write_time_s(spec)
+    mtbf_s = mean_iterations_between_failures * iteration_time_s
+    interval_s = math.sqrt(2.0 * ckpt_cost * mtbf_s)
+    return max(1, round(interval_s / iteration_time_s))
+
+
+@dataclasses.dataclass(frozen=True)
+class ElasticPhase:
+    """One segment of an elastically scaled training run."""
+
+    num_gpus: int
+    iterations: int
+    iteration_time_s: float
+    samples: float
+
+
+def simulate_elastic_scaling(
+    model: str | ModelSpec,
+    backend: str,
+    phases: t.Sequence[tuple[int, int]],
+    batch_per_gpu: int | None = None,
+) -> tuple[list[ElasticPhase], float]:
+    """Timed elastic deployment: resize the cluster between phases.
+
+    ``phases`` is ``[(num_gpus, iterations), ...]``; between consecutive
+    phases the coordinator pauses training, re-forms the communicators
+    and broadcasts the parameters to any joining workers (paper §IV:
+    "elastic deployment by propagating training parameters into newly
+    added computing nodes").
+
+    Returns the per-phase results and the total wall-clock seconds
+    including the resize pauses.
+    """
+    from repro.training.trainer import run_training
+
+    spec = get_model(model) if isinstance(model, str) else model
+    if not phases:
+        raise TrainingError("need at least one phase")
+    results: list[ElasticPhase] = []
+    total_time = 0.0
+    previous_gpus: int | None = None
+    for num_gpus, iterations in phases:
+        if num_gpus < 1 or iterations < 1:
+            raise TrainingError("phases need positive GPUs/iterations")
+        measured = run_training(spec, backend, num_gpus,
+                                batch_per_gpu=batch_per_gpu,
+                                measure_iterations=2, warmup_iterations=1)
+        if previous_gpus is not None and num_gpus != previous_gpus:
+            # Resize pause: communicator rebuild + parameter broadcast
+            # to joiners (only needed when growing).
+            total_time += DEFAULT_RESTART_OVERHEAD_S / 3.0
+            if num_gpus > previous_gpus:
+                total_time += broadcast_time_s(spec)
+        phase_time = iterations * measured.mean_iteration_s
+        total_time += phase_time
+        results.append(ElasticPhase(
+            num_gpus=num_gpus,
+            iterations=iterations,
+            iteration_time_s=measured.mean_iteration_s,
+            samples=iterations * num_gpus * measured.batch_per_gpu,
+        ))
+        previous_gpus = num_gpus
+    return results, total_time

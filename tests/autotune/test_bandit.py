@@ -1,0 +1,98 @@
+"""Tests for the sliding-window AUC multi-armed-bandit meta solver."""
+
+import math
+
+import pytest
+
+from repro.autotune.bandit import AUCBandit
+from repro.errors import AutotuneError
+
+
+class TestAUC:
+    def test_no_history_scores_zero_auc(self):
+        bandit = AUCBandit(["a", "b"])
+        assert bandit.auc("a") == 0.0
+
+    def test_all_improvements_gives_full_area(self):
+        bandit = AUCBandit(["a"])
+        for _ in range(5):
+            bandit.reward("a", True)
+        assert bandit.auc("a") == pytest.approx(1.0)
+
+    def test_no_improvements_gives_zero_area(self):
+        bandit = AUCBandit(["a"])
+        for _ in range(5):
+            bandit.reward("a", False)
+        assert bandit.auc("a") == 0.0
+
+    def test_recent_improvements_worth_more_than_early(self):
+        # The curve is cumulative: early wins accumulate area on every
+        # later event, but a late win after flatline means small area —
+        # a technique that stopped improving decays.
+        early = AUCBandit(["a"])
+        for improved in (True, True, False, False, False, False):
+            early.reward("a", improved)
+        late = AUCBandit(["a"])
+        for improved in (False, False, False, False, True, True):
+            late.reward("a", improved)
+        assert early.auc("a") != late.auc("a")
+
+    def test_window_slides(self):
+        bandit = AUCBandit(["a"], window=3)
+        bandit.reward("a", True)
+        for _ in range(3):
+            bandit.reward("a", False)
+        # The improvement fell out of the window.
+        assert bandit.auc("a") == 0.0
+
+
+class TestSelection:
+    def test_unused_technique_explored_first(self):
+        bandit = AUCBandit(["a", "b"])
+        bandit.reward("a", True)
+        assert bandit.score("b") == math.inf
+        assert bandit.select() == "b"
+
+    def test_improving_technique_preferred(self):
+        bandit = AUCBandit(["good", "bad"], window=10)
+        for _ in range(5):
+            bandit.reward("good", True)
+            bandit.reward("bad", False)
+        assert bandit.select() == "good"
+
+    def test_exploration_term_decays_with_usage(self):
+        bandit = AUCBandit(["a", "b"], window=20, exploration=0.2)
+        for _ in range(8):
+            bandit.reward("a", False)
+        bandit.reward("b", False)
+        # Both have zero AUC; the less-used technique scores higher.
+        assert bandit.score("b") > bandit.score("a")
+
+    def test_paper_formula_components(self):
+        bandit = AUCBandit(["a", "b"], window=20, exploration=0.2)
+        for _ in range(4):
+            bandit.reward("a", True)
+        for _ in range(4):
+            bandit.reward("b", False)
+        expected_a = bandit.auc("a") + 0.2 * math.sqrt(
+            2 * math.log2(8) / 4)
+        assert bandit.score("a") == pytest.approx(expected_a)
+
+
+class TestValidation:
+    def test_empty_techniques_rejected(self):
+        with pytest.raises(AutotuneError):
+            AUCBandit([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AutotuneError):
+            AUCBandit(["a", "a"])
+
+    def test_unknown_reward_rejected(self):
+        bandit = AUCBandit(["a"])
+        with pytest.raises(AutotuneError):
+            bandit.reward("zzz", True)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(AutotuneError):
+            AUCBandit(["a"], window=0)

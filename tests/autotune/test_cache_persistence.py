@@ -1,0 +1,97 @@
+"""Tests for settings-cache persistence and elastic timed scaling."""
+
+import pytest
+
+from repro.autotune import ParameterPoint, SettingsCache
+from repro.errors import AutotuneError, TrainingError
+from repro.models import get_model
+from repro.sim import Simulator, alibaba_v100_cluster
+from repro.training.resilience import simulate_elastic_scaling
+
+
+def topo(num_gpus):
+    return alibaba_v100_cluster(Simulator(), num_gpus).topology_graph()
+
+
+class TestCachePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = SettingsCache()
+        point = ParameterPoint(12, 16e6, "ring")
+        cache.store("rn50@32", get_model("resnet50"), topo(32), point, 0.2)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+
+        restored = SettingsCache.load(path)
+        assert len(restored) == 1
+        found = restored.lookup(get_model("resnet50"), topo(32))
+        assert found is not None
+        entry, distance = found
+        assert entry.best_point == point
+        assert entry.best_cost_s == 0.2
+        # Same deployment -> distance zero even through the fingerprint.
+        assert distance == 0.0
+
+    def test_restored_cache_distinguishes_models(self, tmp_path):
+        cache = SettingsCache()
+        cache.store("rn", get_model("resnet50"), topo(32),
+                    ParameterPoint(8, 8e6, "ring"), 0.2)
+        cache.store("vgg", get_model("vgg16"), topo(32),
+                    ParameterPoint(16, 16e6, "ring"), 0.7)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        restored = SettingsCache.load(path)
+        found = restored.lookup(get_model("vgg16"), topo(32))
+        assert found is not None
+        assert found[0].label == "vgg"
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(AutotuneError):
+            SettingsCache.load(tmp_path / "nope.json")
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AutotuneError):
+            SettingsCache.load(path)
+
+    def test_empty_cache_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.json"
+        SettingsCache().save(path)
+        assert len(SettingsCache.load(path)) == 0
+
+
+class TestElasticScaling:
+    def test_phases_measured_and_paused(self):
+        phases, total = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(16, 5), (32, 5)])
+        assert len(phases) == 2
+        assert phases[0].num_gpus == 16
+        assert phases[1].num_gpus == 32
+        pure = sum(p.iterations * p.iteration_time_s for p in phases)
+        # Total includes the grow pause + parameter broadcast.
+        assert total > pure
+
+    def test_shrink_has_no_broadcast(self):
+        _, grow_total = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(16, 3), (32, 3)])
+        _, shrink_total = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(32, 3), (16, 3)])
+        # Same phases mirrored; growing pays the extra broadcast.
+        assert grow_total > shrink_total
+
+    def test_single_phase_no_pause(self):
+        phases, total = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(16, 4)])
+        assert total == pytest.approx(
+            phases[0].iterations * phases[0].iteration_time_s)
+
+    def test_samples_accounting(self):
+        phases, _ = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(16, 5)], batch_per_gpu=32)
+        assert phases[0].samples == 5 * 16 * 32
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            simulate_elastic_scaling("resnet50", "aiacc", [])
+        with pytest.raises(TrainingError):
+            simulate_elastic_scaling("resnet50", "aiacc", [(0, 5)])

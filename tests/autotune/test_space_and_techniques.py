@@ -1,0 +1,148 @@
+"""Tests for the search space and the four search techniques."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    BayesianOptimization,
+    GridSearch,
+    Hyperband,
+    ParameterPoint,
+    PopulationBasedTraining,
+    SearchSpace,
+    default_ensemble,
+)
+from repro.errors import AutotuneError
+
+
+def synthetic_cost(point: ParameterPoint) -> float:
+    """A smooth cost with a known optimum: 16 streams, 8 MB, ring."""
+    stream_term = abs(point.num_streams - 16) / 24
+    gran_term = abs(np.log2(point.granularity_bytes / 8e6)) / 7
+    algo_term = 0.0 if point.algorithm == "ring" else 0.15
+    return 0.1 + stream_term + gran_term + algo_term
+
+
+class TestSearchSpace:
+    def test_size(self):
+        space = SearchSpace(streams=(2, 4), granularities_mb=(1, 2),
+                            algorithms=("ring",))
+        assert len(space) == 4
+        assert len(space.all_points()) == 4
+
+    def test_contains(self):
+        space = SearchSpace()
+        assert ParameterPoint(8, 16e6, "ring") in space
+        assert ParameterPoint(3, 16e6, "ring") not in space
+
+    def test_random_point_in_space(self):
+        space = SearchSpace()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert space.random_point(rng) in space
+
+    def test_neighbors_one_step_away(self):
+        space = SearchSpace()
+        point = ParameterPoint(8, 16e6, "ring")
+        neighbors = space.neighbors(point)
+        assert ParameterPoint(4, 16e6, "ring") in neighbors
+        assert ParameterPoint(12, 16e6, "ring") in neighbors
+        assert ParameterPoint(8, 8e6, "ring") in neighbors
+        assert ParameterPoint(8, 32e6, "ring") in neighbors
+        assert ParameterPoint(8, 16e6, "hierarchical") in neighbors
+
+    def test_neighbors_at_boundary(self):
+        space = SearchSpace()
+        point = ParameterPoint(2, 1e6, "ring")
+        neighbors = space.neighbors(point)
+        assert all(n in space for n in neighbors)
+
+    def test_neighbors_outside_space_rejected(self):
+        space = SearchSpace()
+        with pytest.raises(AutotuneError):
+            space.neighbors(ParameterPoint(3, 16e6, "ring"))
+
+    def test_encode_normalised(self):
+        space = SearchSpace()
+        for point in space.all_points():
+            vec = point.encode(space)
+            assert vec.shape == (3,)
+            assert np.all(vec >= 0) and np.all(vec <= 1)
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(AutotuneError):
+            SearchSpace(streams=())
+
+
+def run_technique(technique, budget=60):
+    best = float("inf")
+    best_point = None
+    for _ in range(budget):
+        point = technique.propose()
+        cost = synthetic_cost(point)
+        technique.observe(point, cost)
+        if cost < best:
+            best, best_point = cost, point
+    return best, best_point
+
+
+class TestTechniques:
+    @pytest.mark.parametrize("factory", [
+        lambda s: GridSearch(s),
+        lambda s: PopulationBasedTraining(s, seed=1),
+        lambda s: BayesianOptimization(s, seed=1),
+        lambda s: Hyperband(s, seed=2),
+    ])
+    def test_finds_good_region(self, factory):
+        space = SearchSpace()
+        technique = factory(space)
+        best, best_point = run_technique(technique)
+        # All techniques should land in the good region of this smooth
+        # landscape within 60 evaluations (optimum cost is 0.1; random
+        # points average ~0.5).
+        assert best < 2.5 * synthetic_cost(ParameterPoint(16, 8e6, "ring"))
+        assert best_point in space
+
+    def test_grid_visits_distinct_points_first(self):
+        space = SearchSpace()
+        grid = GridSearch(space)
+        seen = [grid.propose() for _ in range(30)]
+        assert len(set(seen)) == 30
+
+    def test_grid_covers_whole_space_eventually(self):
+        space = SearchSpace(streams=(2, 4), granularities_mb=(1, 2),
+                            algorithms=("ring",))
+        grid = GridSearch(space)
+        seen = {grid.propose() for _ in range(len(space))}
+        assert seen == set(space.all_points())
+
+    def test_pbt_population_evolves_toward_winners(self):
+        space = SearchSpace()
+        pbt = PopulationBasedTraining(space, population_size=4, seed=3)
+        for _ in range(40):
+            point = pbt.propose()
+            pbt.observe(point, synthetic_cost(point))
+        costs = [synthetic_cost(p) for p in pbt.population]
+        # Generations should have pulled the population into decent areas.
+        assert np.mean(costs) < 0.8
+
+    def test_bayesian_proposals_stay_in_space(self):
+        space = SearchSpace()
+        bo = BayesianOptimization(space, seed=5)
+        for _ in range(20):
+            point = bo.propose()
+            assert point in space
+            bo.observe(point, synthetic_cost(point))
+
+    def test_hyperband_rungs_shrink(self):
+        space = SearchSpace()
+        hb = Hyperband(space, bracket_size=8, eta=2, seed=7)
+        first_rung = set(hb._rung)
+        for _ in range(8):
+            point = hb.propose()
+            hb.observe(point, synthetic_cost(point))
+        assert len(set(hb._rung)) <= max(1, len(first_rung) // 2)
+
+    def test_default_ensemble_has_paper_techniques(self):
+        names = {t.name for t in default_ensemble(SearchSpace())}
+        assert names == {"grid", "pbt", "bayesian", "hyperband"}

@@ -1,0 +1,107 @@
+"""Tests for all-to-all, gather, scatter and reduce-to-root."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.alltoall import alltoall, gather, reduce, scatter
+from repro.collectives.primitives import ReduceOp
+from repro.errors import CollectiveError
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self):
+        # Worker i sends value (i*10 + j) to worker j; worker j must end
+        # with column j of that matrix.
+        n = 4
+        per_worker = [
+            [np.array([float(i * 10 + j)]) for j in range(n)]
+            for i in range(n)
+        ]
+        results = alltoall(per_worker)
+        for j, received in enumerate(results):
+            got = [float(chunk[0]) for chunk in received]
+            assert got == [i * 10 + j for i in range(n)]
+
+    def test_single_worker(self):
+        results = alltoall([[np.array([1.0, 2.0])]])
+        np.testing.assert_array_equal(results[0][0], [1.0, 2.0])
+
+    def test_variable_chunk_sizes(self):
+        per_worker = [
+            [np.full(j + 1, float(i)) for j in range(2)]
+            for i in range(2)
+        ]
+        results = alltoall(per_worker)
+        assert results[0][1].shape == (1,)
+        assert results[1][0].shape == (2,)
+
+    def test_wrong_chunk_count_rejected(self):
+        with pytest.raises(CollectiveError):
+            alltoall([[np.zeros(1)], [np.zeros(1), np.zeros(1)]])
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 6), seed=st.integers(0, 100))
+    def test_property_matches_transpose(self, n, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(n, n, 3))
+        per_worker = [[matrix[i, j] for j in range(n)] for i in range(n)]
+        results = alltoall(per_worker)
+        for j in range(n):
+            for i in range(n):
+                np.testing.assert_array_equal(results[j][i], matrix[i, j])
+
+
+class TestGatherScatter:
+    def test_gather_collects_at_root(self):
+        arrays = [np.full(2, float(rank)) for rank in range(4)]
+        results = gather(arrays, root=1)
+        assert results[0] is None
+        gathered = results[1]
+        for rank, part in enumerate(gathered):
+            np.testing.assert_array_equal(part, np.full(2, float(rank)))
+
+    def test_scatter_distributes_from_root(self):
+        chunks = [np.full(3, float(rank)) for rank in range(4)]
+        results = scatter(chunks, root=2)
+        for rank, part in enumerate(results):
+            np.testing.assert_array_equal(part, np.full(3, float(rank)))
+
+    def test_scatter_gather_roundtrip(self):
+        rng = np.random.default_rng(0)
+        chunks = [rng.normal(size=4) for _ in range(3)]
+        scattered = scatter(chunks, root=0)
+        results = gather(scattered, root=0)
+        for original, received in zip(chunks, results[0]):
+            np.testing.assert_array_equal(original, received)
+
+    def test_scatter_chunk_count_validated(self):
+        with pytest.raises(CollectiveError):
+            scatter([np.zeros(1)], root=0, size=3)
+
+
+class TestReduce:
+    def test_sum_at_root(self):
+        arrays = [np.array([1.0, 2.0]), np.array([3.0, 4.0]),
+                  np.array([5.0, 6.0])]
+        results = reduce(arrays, root=0)
+        np.testing.assert_array_equal(results[0], [9.0, 12.0])
+        assert results[1] is None and results[2] is None
+
+    def test_avg(self):
+        arrays = [np.array([2.0]), np.array([4.0])]
+        results = reduce(arrays, root=1, op=ReduceOp.AVG)
+        np.testing.assert_array_equal(results[1], [3.0])
+
+    def test_reduce_then_broadcast_equals_allreduce(self):
+        from repro.collectives import broadcast, ring_allreduce
+
+        rng = np.random.default_rng(1)
+        arrays = [rng.normal(size=8) for _ in range(4)]
+        reduced_at_root = reduce(arrays, root=0)[0]
+        rebroadcast = broadcast(
+            [reduced_at_root, None, None, None], root=0)
+        allreduced = ring_allreduce(arrays)
+        for a, b in zip(rebroadcast, allreduced):
+            np.testing.assert_allclose(a, b, rtol=1e-12)

@@ -1,0 +1,108 @@
+"""Tests for gradient packing into all-reduce units."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing import GradientPacker, unpack
+from repro.errors import PackingError
+
+
+class TestPacking:
+    def test_merge_small_tensors(self):
+        packer = GradientPacker(granularity_bytes=100)
+        units = packer.pack([(0, 30), (1, 30), (2, 30)])
+        assert len(units) == 1
+        assert units[0].nbytes == 90
+        assert [s.grad_id for s in units[0].slices] == [0, 1, 2]
+
+    def test_split_large_tensor(self):
+        # The VGG fc6 case: one huge tensor becomes many units that can
+        # ride concurrent streams (unlike Horovod's whole-tensor fusion).
+        packer = GradientPacker(granularity_bytes=100)
+        units = packer.pack([(0, 410)])
+        assert len(units) == 5
+        assert [u.nbytes for u in units] == [100, 100, 100, 100, 10]
+        offsets = [u.slices[0].offset for u in units]
+        assert offsets == [0, 100, 200, 300, 400]
+
+    def test_mixed_split_and_merge(self):
+        packer = GradientPacker(granularity_bytes=100)
+        units = packer.pack([(0, 60), (1, 120), (2, 20)])
+        assert sum(u.nbytes for u in units) == 200
+        assert len(units) == 2
+        # Unit boundaries are exactly at the granularity.
+        assert units[0].nbytes == 100
+
+    def test_exact_fit(self):
+        packer = GradientPacker(granularity_bytes=50)
+        units = packer.pack([(0, 50), (1, 50)])
+        assert [u.nbytes for u in units] == [50, 50]
+
+    def test_deterministic_id_order(self):
+        # Workers pack in gradient-id order so they implicitly agree on
+        # communication order (paper §V-B).
+        packer_a = GradientPacker(100)
+        packer_b = GradientPacker(100)
+        units_a = packer_a.pack([(2, 40), (0, 40), (1, 40)])
+        units_b = packer_b.pack([(0, 40), (1, 40), (2, 40)])
+        assert [[(s.grad_id, s.offset, s.nbytes) for s in u.slices]
+                for u in units_a] == \
+            [[(s.grad_id, s.offset, s.nbytes) for s in u.slices]
+             for u in units_b]
+
+    def test_unit_ids_monotonic_across_calls(self):
+        packer = GradientPacker(100)
+        first = packer.pack([(0, 150)])
+        second = packer.pack([(1, 150)])
+        ids = [u.unit_id for u in first + second]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_empty_input(self):
+        assert GradientPacker(100).pack([]) == []
+
+    def test_duplicate_gradient_rejected(self):
+        with pytest.raises(PackingError):
+            GradientPacker(100).pack([(0, 10), (0, 20)])
+
+    def test_zero_byte_gradient_rejected(self):
+        with pytest.raises(PackingError):
+            GradientPacker(100).pack([(0, 0)])
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(PackingError):
+            GradientPacker(0)
+
+
+class TestUnpack:
+    def test_roundtrip_totals(self):
+        packer = GradientPacker(64)
+        gradients = [(0, 100), (1, 30), (2, 200)]
+        units = packer.pack(gradients)
+        totals = unpack(units)
+        assert totals == {0: 100, 1: 30, 2: 200}
+
+    def test_gap_detected(self):
+        packer = GradientPacker(64)
+        units = packer.pack([(0, 200)])
+        # Drop a middle unit: the gap must be detected.
+        with pytest.raises(PackingError):
+            unpack([units[0], units[2]] if len(units) > 2 else units[:1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 500), min_size=1, max_size=20),
+        granularity=st.integers(1, 256),
+    )
+    def test_property_pack_unpack_roundtrip(self, sizes, granularity):
+        packer = GradientPacker(granularity)
+        gradients = list(enumerate(sizes))
+        units = packer.pack(gradients)
+        # Invariant 1: all units except possibly the last are full.
+        for unit in units[:-1]:
+            assert unit.nbytes == granularity
+        # Invariant 2: totals reconstruct exactly.
+        assert unpack(units) == dict(gradients)
+        # Invariant 3: byte conservation.
+        assert sum(u.nbytes for u in units) == sum(sizes)

@@ -1,0 +1,120 @@
+"""Tests for the asynchronous partial-readiness flow (paper Fig. 8b).
+
+Gradients arrive in arbitrary order per worker; a tensor is reduced only
+once *every* worker has pushed it, while stragglers stay pending —
+exactly the min-all-reduce semantics of §V-A.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.perseus import init
+from repro.errors import RegistrationError, SynchronizationError
+
+
+def make_session(size=3):
+    session = init(size)
+    session.register_parameters({"a": (4,), "b": (2, 2), "c": (3,)})
+    return session
+
+
+class TestPartialReadiness:
+    def test_only_globally_ready_reduced(self):
+        session = make_session(size=2)
+        session.push_gradient(0, "a", np.ones(4))
+        session.push_gradient(0, "b", np.ones((2, 2)))
+        session.push_gradient(1, "a", np.full(4, 3.0))
+        # 'a' is everywhere; 'b' only on rank 0.
+        results, ready = session.reduce_ready()
+        assert ready == ["a"]
+        np.testing.assert_allclose(results[0]["a"], np.full(4, 2.0))
+        np.testing.assert_allclose(results[1]["a"], np.full(4, 2.0))
+        assert session.pending_counts() == [1, 0]
+
+    def test_straggler_reduced_in_later_round(self):
+        session = make_session(size=2)
+        session.push_gradient(0, "b", np.ones((2, 2)))
+        _, ready = session.reduce_ready()
+        assert ready == []
+        session.push_gradient(1, "b", np.full((2, 2), 5.0))
+        results, ready = session.reduce_ready()
+        assert ready == ["b"]
+        np.testing.assert_allclose(results[0]["b"], np.full((2, 2), 3.0))
+        assert session.pending_counts() == [0, 0]
+
+    def test_arbitrary_order_equals_dense_step(self):
+        rng = np.random.default_rng(0)
+        grads = [
+            {"a": rng.normal(size=4), "b": rng.normal(size=(2, 2)),
+             "c": rng.normal(size=3)}
+            for _ in range(3)
+        ]
+        async_session = make_session(size=3)
+        # Push in scrambled, per-worker different orders.
+        orders = [("c", "a", "b"), ("b", "c", "a"), ("a", "b", "c")]
+        for rank, order in enumerate(orders):
+            for name in order:
+                async_session.push_gradient(rank, name, grads[rank][name])
+        results, ready = async_session.reduce_ready()
+        assert sorted(ready) == ["a", "b", "c"]
+
+        dense_session = make_session(size=3)
+        dense = dense_session.reduce_gradients(
+            [{k: v.copy() for k, v in g.items()} for g in grads])
+        for name in ("a", "b", "c"):
+            np.testing.assert_allclose(results[0][name], dense[0][name],
+                                       rtol=1e-6, atol=1e-7)
+
+    def test_repeated_rounds_with_interleaving(self):
+        session = make_session(size=2)
+        for step in range(3):
+            session.push_gradient(0, "a", np.full(4, float(step)))
+            session.push_gradient(1, "a", np.full(4, float(step)))
+            results, ready = session.reduce_ready()
+            assert ready == ["a"]
+            np.testing.assert_allclose(results[0]["a"],
+                                       np.full(4, float(step)))
+
+    def test_double_push_rejected(self):
+        session = make_session(size=2)
+        session.push_gradient(0, "a", np.ones(4))
+        with pytest.raises(RegistrationError):
+            session.push_gradient(0, "a", np.ones(4))
+
+    def test_unknown_parameter_rejected(self):
+        session = make_session()
+        with pytest.raises(RegistrationError):
+            session.push_gradient(0, "zzz", np.ones(1))
+
+    def test_push_before_registration_rejected(self):
+        session = init(2)
+        with pytest.raises(RegistrationError):
+            session.push_gradient(0, "a", np.ones(1))
+
+    def test_bad_rank_rejected(self):
+        session = make_session(size=2)
+        with pytest.raises(RegistrationError):
+            session.push_gradient(5, "a", np.ones(4))
+
+    def test_dense_step_blocked_while_pending(self):
+        session = make_session(size=2)
+        session.push_gradient(0, "a", np.ones(4))
+        dense = [{"a": np.ones(4), "b": np.ones((2, 2)),
+                  "c": np.ones(3)} for _ in range(2)]
+        with pytest.raises(SynchronizationError):
+            session.reduce_gradients(dense)
+
+
+def test_dense_then_async_flow_clean():
+    """Switching from dense steps to the push flow must not mis-report."""
+    session = make_session(size=2)
+    dense = [{"a": np.ones(4), "b": np.ones((2, 2)), "c": np.ones(3)}
+             for _ in range(2)]
+    session.reduce_gradients(dense)
+    # Nothing pushed yet: nothing may be "ready".
+    results, ready = session.reduce_ready()
+    assert ready == []
+    session.push_gradient(0, "c", np.ones(3))
+    session.push_gradient(1, "c", np.ones(3))
+    results, ready = session.reduce_ready()
+    assert ready == ["c"]

@@ -1,0 +1,193 @@
+"""Tests for the Perseus numeric API (the full AIACC pipeline on numpy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.perseus import PerseusSession, init
+from repro.core.runtime import AIACCConfig
+from repro.errors import NaNGradientError, RegistrationError, ReproError
+
+
+def make_session(size=3, **config_kwargs):
+    session = init(size, config=AIACCConfig(**config_kwargs)
+                   if config_kwargs else None)
+    session.register_parameters({
+        "fc.weight": (4, 5),
+        "fc.bias": (5,),
+        "conv.weight": (3, 3, 2),
+    })
+    return session
+
+
+def random_grads(session, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "fc.weight": rng.normal(size=(4, 5)),
+            "fc.bias": rng.normal(size=(5,)),
+            "conv.weight": rng.normal(size=(3, 3, 2)),
+        }
+        for _ in session.ranks()
+    ]
+
+
+class TestReduceGradients:
+    def test_average_matches_numpy(self):
+        session = make_session(size=3)
+        worker_grads = random_grads(session, seed=0)
+        reduced = session.reduce_gradients(worker_grads)
+        for name in worker_grads[0]:
+            expected = np.mean([g[name] for g in worker_grads], axis=0)
+            for result in reduced:
+                # Gradients travel the wire as fp32, so agreement is at
+                # single precision, not double.
+                np.testing.assert_allclose(result[name], expected,
+                                           rtol=1e-6, atol=1e-6)
+
+    def test_all_workers_get_identical_results(self):
+        session = make_session(size=4)
+        reduced = session.reduce_gradients(random_grads(session, seed=1))
+        for name in reduced[0]:
+            for other in reduced[1:]:
+                np.testing.assert_array_equal(reduced[0][name], other[name])
+
+    def test_shapes_preserved(self):
+        session = make_session()
+        reduced = session.reduce_gradients(random_grads(session, seed=2))
+        assert reduced[0]["fc.weight"].shape == (4, 5)
+        assert reduced[0]["conv.weight"].shape == (3, 3, 2)
+
+    def test_small_granularity_splits_units_same_result(self):
+        # Tiny granularity forces multi-unit packing with tensor slices;
+        # results must not change.
+        base = make_session(size=3)
+        tiny = make_session(size=3, granularity_bytes=1024 * 512)
+        grads = random_grads(base, seed=3)
+        a = base.reduce_gradients(grads)
+        b = tiny.reduce_gradients([{k: v.copy() for k, v in g.items()}
+                                   for g in grads])
+        for name in a[0]:
+            np.testing.assert_allclose(a[0][name], b[0][name], rtol=1e-10)
+
+    def test_step_counter(self):
+        session = make_session()
+        session.reduce_gradients(random_grads(session, seed=4))
+        session.reduce_gradients(random_grads(session, seed=5))
+        assert session.steps_completed == 2
+
+    def test_single_worker_passthrough(self):
+        session = init(1)
+        session.register_parameters({"w": (3,)})
+        grads = [{"w": np.array([1.0, 2.0, 3.0])}]
+        reduced = session.reduce_gradients(grads)
+        np.testing.assert_allclose(reduced[0]["w"], [1.0, 2.0, 3.0])
+
+
+class TestFP16Compression:
+    def test_result_close_to_fp32(self):
+        plain = make_session(size=2)
+        compressed = make_session(size=2, fp16_compression=True)
+        grads = random_grads(plain, seed=6)
+        exact = plain.reduce_gradients(grads)
+        approx = compressed.reduce_gradients(
+            [{k: v.copy() for k, v in g.items()} for g in grads])
+        for name in exact[0]:
+            np.testing.assert_allclose(approx[0][name], exact[0][name],
+                                       rtol=2e-3, atol=2e-3)
+
+    def test_wire_bytes_halved(self):
+        session = make_session(size=2, fp16_compression=True)
+        session.reduce_gradients(random_grads(session, seed=7))
+        assert session.compressor.stats.ratio == pytest.approx(2.0)
+
+    def test_out_of_range_values_clamped_not_inf(self):
+        session = make_session(size=2, fp16_compression=True)
+        grads = random_grads(session, seed=8)
+        grads[0]["fc.bias"][:] = 1e38  # far beyond fp16 range
+        reduced = session.reduce_gradients(grads)
+        assert np.all(np.isfinite(reduced[0]["fc.bias"]))
+
+
+class TestNaNDetection:
+    def test_nan_raises_with_attribution(self):
+        session = make_session(size=2, nan_check=True)
+        grads = random_grads(session, seed=9)
+        grads[1]["conv.weight"][0, 0, 0] = np.nan
+        with pytest.raises(NaNGradientError) as excinfo:
+            session.reduce_gradients(grads)
+        assert excinfo.value.parameter_name == "conv.weight"
+        assert excinfo.value.worker_rank == 1
+
+    def test_inf_also_detected(self):
+        session = make_session(size=2, nan_check=True)
+        grads = random_grads(session, seed=10)
+        grads[0]["fc.weight"][0, 0] = np.inf
+        with pytest.raises(NaNGradientError):
+            session.reduce_gradients(grads)
+
+    def test_disabled_by_default(self):
+        session = make_session(size=2)
+        grads = random_grads(session, seed=11)
+        grads[0]["fc.bias"][0] = np.nan
+        reduced = session.reduce_gradients(grads)  # must not raise
+        assert np.isnan(reduced[0]["fc.bias"][0])
+
+
+class TestValidation:
+    def test_step_before_registration_rejected(self):
+        session = init(2)
+        with pytest.raises(RegistrationError):
+            session.reduce_gradients([{}, {}])
+
+    def test_double_registration_rejected(self):
+        session = make_session()
+        with pytest.raises(RegistrationError):
+            session.register_parameters({"x": (1,)})
+
+    def test_empty_registration_rejected(self):
+        with pytest.raises(RegistrationError):
+            init(2).register_parameters({})
+
+    def test_wrong_worker_count_rejected(self):
+        session = make_session(size=3)
+        with pytest.raises(RegistrationError):
+            session.reduce_gradients(random_grads(make_session(2), 0)[:2])
+
+    def test_missing_key_rejected(self):
+        session = make_session(size=2)
+        grads = random_grads(session, seed=12)
+        del grads[0]["fc.bias"]
+        with pytest.raises(RegistrationError):
+            session.reduce_gradients(grads)
+
+    def test_zero_size_session_rejected(self):
+        with pytest.raises(RegistrationError):
+            PerseusSession(0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ReproError):
+            AIACCConfig(num_streams=0)
+
+
+class TestCollectives:
+    def test_allreduce_average(self):
+        session = init(3)
+        arrays = [np.full((2, 2), float(rank)) for rank in range(3)]
+        for result in session.allreduce(arrays):
+            np.testing.assert_allclose(result, np.full((2, 2), 1.0))
+
+    def test_broadcast_parameters(self):
+        session = init(3)
+        params = {"w": np.arange(6.0).reshape(2, 3)}
+        result = session.broadcast_parameters([params, None, None],
+                                              root_rank=0)
+        for worker in result:
+            np.testing.assert_array_equal(worker["w"], params["w"])
+
+    def test_broadcast_from_nonzero_root(self):
+        session = init(3)
+        params = {"w": np.ones(4)}
+        result = session.broadcast_parameters([None, params, None],
+                                              root_rank=1)
+        for worker in result:
+            np.testing.assert_array_equal(worker["w"], np.ones(4))

@@ -1,0 +1,162 @@
+"""Tests for top-k gradient sparsification with error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sparsification import (
+    BYTES_PER_SPARSE_ELEMENT,
+    TopKCompressor,
+    sparse_allreduce,
+    sparse_wire_bytes,
+    train_step_with_topk,
+)
+from repro.errors import ReproError
+
+
+class TestTopK:
+    def test_selects_largest_magnitudes(self):
+        compressor = TopKCompressor(compress_ratio=0.2)
+        gradient = np.array([0.1, -5.0, 0.2, 3.0, -0.3,
+                             0.05, 1.0, -0.02, 0.15, 0.4])
+        indices, values = compressor.compress("w", gradient)
+        assert set(indices) == {1, 3}
+        assert set(np.abs(values)) == {5.0, 3.0}
+
+    def test_residual_accumulates_unsent_mass(self):
+        compressor = TopKCompressor(compress_ratio=0.25)
+        gradient = np.array([4.0, 1.0, 0.5, 0.25])
+        compressor.compress("w", gradient)
+        # Unsent: 1.0, 0.5, 0.25 -> residual norm sqrt(1+.25+.0625).
+        assert compressor.residual_norm("w") == pytest.approx(
+            np.sqrt(1.3125))
+
+    def test_error_feedback_eventually_sends_everything(self):
+        # A small persistent component must not be suppressed forever:
+        # after enough steps its accumulated residual wins the top-k.
+        compressor = TopKCompressor(compress_ratio=0.25)
+        sent_to_small = 0.0
+        for _ in range(20):
+            gradient = np.array([1.0, 0.1, 0.0, 0.0])
+            indices, values = compressor.compress("w", gradient)
+            if 1 in indices:
+                sent_to_small += values[list(indices).index(1)]
+        assert sent_to_small > 0.5
+
+    def test_at_least_one_element_always_sent(self):
+        compressor = TopKCompressor(compress_ratio=0.001)
+        indices, values = compressor.compress("w", np.ones(10))
+        assert len(indices) == 1
+
+    def test_ratio_validation(self):
+        with pytest.raises(ReproError):
+            TopKCompressor(compress_ratio=0.0)
+        with pytest.raises(ReproError):
+            TopKCompressor(compress_ratio=1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        size=st.integers(4, 200),
+        ratio=st.floats(0.01, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_conservation(self, size, ratio, seed):
+        # sent + residual == corrected gradient, exactly.
+        rng = np.random.default_rng(seed)
+        gradient = rng.normal(size=size)
+        compressor = TopKCompressor(compress_ratio=ratio)
+        indices, values = compressor.compress("w", gradient)
+        reconstructed = np.zeros(size)
+        reconstructed[indices] = values
+        reconstructed += compressor._residuals["w"]
+        np.testing.assert_allclose(reconstructed, gradient, atol=1e-12)
+
+
+class TestSparseAllreduce:
+    def test_matches_dense_mean_when_ratio_is_one(self):
+        rng = np.random.default_rng(0)
+        grads = [rng.normal(size=16) for _ in range(3)]
+        compressors = [TopKCompressor(1.0) for _ in range(3)]
+        contributions = [c.compress("w", g)
+                         for c, g in zip(compressors, grads)]
+        dense = sparse_allreduce(contributions, 16)
+        np.testing.assert_allclose(dense, np.mean(grads, axis=0),
+                                   atol=1e-12)
+
+    def test_duplicate_indices_accumulate(self):
+        result = sparse_allreduce(
+            [(np.array([2, 5]), np.array([1.0, 2.0])),
+             (np.array([2]), np.array([3.0]))],
+            dense_size=8, average=False)
+        assert result[2] == pytest.approx(4.0)
+        assert result[5] == pytest.approx(2.0)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ReproError):
+            sparse_allreduce([(np.array([99]), np.array([1.0]))], 10)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            sparse_allreduce([(np.array([1, 2]), np.array([1.0]))], 10)
+
+
+class TestWireBytes:
+    def test_sparse_cheaper_than_dense_at_small_ratio(self):
+        elements = 1_000_000
+        dense_bytes = 2 * 4 * elements  # ring all-reduce volume
+        sparse = sparse_wire_bytes(elements, 0.001, world_size=16)
+        assert sparse < dense_bytes / 10
+
+    def test_sparse_loses_at_large_ratio_and_scale(self):
+        elements = 1_000_000
+        dense_bytes = 2 * 4 * elements
+        sparse = sparse_wire_bytes(elements, 0.1, world_size=64)
+        assert sparse > dense_bytes
+
+    def test_bytes_formula(self):
+        assert sparse_wire_bytes(1000, 0.01, 9) == \
+            8 * 10 * BYTES_PER_SPARSE_ELEMENT
+
+
+class TestTrainStep:
+    def test_workers_reach_identical_aggregate(self):
+        rng = np.random.default_rng(1)
+        grads = [{"w": rng.normal(size=(4, 4)), "b": rng.normal(size=4)}
+                 for _ in range(3)]
+        compressors = [TopKCompressor(0.5) for _ in range(3)]
+        aggregated = train_step_with_topk(compressors, grads)
+        assert aggregated["w"].shape == (4, 4)
+        assert aggregated["b"].shape == (4,)
+
+    def test_convergence_on_tiny_mlp(self):
+        # Top-k with error feedback must still train the numeric MLP.
+        from repro.training.numeric import TinyMLP, make_synthetic_task
+        from repro.training.optimizer import SGD
+
+        task = make_synthetic_task(num_samples=256, seed=5)
+        model = TinyMLP(16, 16, 4, seed=6)
+        workers = 2
+        compressors = [TopKCompressor(0.25) for _ in range(workers)]
+        optimizer = SGD(lr=0.2, momentum=0.9)
+        losses = []
+        for step in range(30):
+            offset = (step * 32) % 224
+            grads = []
+            step_loss = 0.0
+            for rank in range(workers):
+                lo = offset + rank * 16
+                loss, g = TinyMLP.loss_and_grads(
+                    model.parameters, task.inputs[lo:lo + 16],
+                    task.labels[lo:lo + 16])
+                grads.append(g)
+                step_loss += loss / workers
+            aggregated = train_step_with_topk(compressors, grads)
+            optimizer.step(model.parameters, aggregated)
+            losses.append(step_loss)
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_compressor_count_validated(self):
+        with pytest.raises(ReproError):
+            train_step_with_topk([TopKCompressor(0.5)],
+                                 [{"w": np.zeros(4)}, {"w": np.zeros(4)}])

@@ -1,0 +1,102 @@
+"""Tests for decentralized bit-vector gradient synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.core.registration import GradientRegistry
+from repro.core.synchronization import (
+    DecentralizedSynchronizer,
+    synchronize_all,
+)
+from repro.errors import SynchronizationError
+from repro.models import ParameterSpec
+from repro.sim import Communicator, Simulator
+
+
+def registry_with(ready_names, all_names=("a", "b", "c", "d")):
+    registry = GradientRegistry()
+    for name in all_names:
+        registry.register(ParameterSpec(name, 4))
+    registry.freeze()
+    for name in ready_names:
+        registry.mark_ready(name)
+    return registry
+
+
+class TestSynchronizeAll:
+    def test_all_ready_everywhere(self):
+        registries = [registry_with(("a", "b", "c", "d")) for _ in range(3)]
+        for view in synchronize_all(registries):
+            np.testing.assert_array_equal(view, [0, 1, 2, 3])
+
+    def test_min_semantics_partial_readiness(self):
+        # Gradient ready only where EVERY worker has produced it (§V-A.2).
+        registries = [
+            registry_with(("a", "b", "c")),
+            registry_with(("a", "c", "d")),
+            registry_with(("a", "c")),
+        ]
+        for view in synchronize_all(registries):
+            np.testing.assert_array_equal(view, [0, 2])  # ids of a, c
+
+    def test_nothing_ready(self):
+        registries = [registry_with(()) for _ in range(2)]
+        for view in synchronize_all(registries):
+            assert len(view) == 0
+
+    def test_single_worker(self):
+        registries = [registry_with(("b",))]
+        np.testing.assert_array_equal(synchronize_all(registries)[0], [1])
+
+    def test_all_workers_see_identical_view(self):
+        registries = [
+            registry_with(("a", "d")),
+            registry_with(("d", "a", "b")),
+        ]
+        views = synchronize_all(registries)
+        np.testing.assert_array_equal(views[0], views[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynchronizationError):
+            synchronize_all([])
+
+    def test_mismatched_parameter_counts_rejected(self):
+        registries = [
+            registry_with((), all_names=("a", "b")),
+            registry_with((), all_names=("a", "b", "c")),
+        ]
+        with pytest.raises(SynchronizationError):
+            synchronize_all(registries)
+
+
+class TestSynchronizerRounds:
+    def test_multiple_rounds_with_changing_readiness(self):
+        sim = Simulator()
+        comm = Communicator(sim, size=2)
+        registries = [registry_with(()), registry_with(())]
+        syncs = [DecentralizedSynchronizer(sim, comm, rank, registry)
+                 for rank, registry in enumerate(registries)]
+
+        results = []
+
+        def worker(rank):
+            registries[rank].mark_ready("a")
+            first = yield sim.spawn(syncs[rank].sync_round())
+            registries[rank].mark_ready("c")
+            second = yield sim.spawn(syncs[rank].sync_round())
+            results.append((rank, list(first), list(second)))
+
+        processes = [sim.spawn(worker(rank)) for rank in range(2)]
+        sim.run(until=sim.all_of(processes))
+        assert sorted(results) == [
+            (0, [0], [0, 2]),
+            (1, [0], [0, 2]),
+        ]
+
+    def test_unfrozen_registry_rejected(self):
+        sim = Simulator()
+        comm = Communicator(sim, size=1)
+        registry = GradientRegistry()
+        registry.register(ParameterSpec("w", 1))
+        with pytest.raises(SynchronizationError):
+            DecentralizedSynchronizer(sim, comm, 0, registry)

@@ -1,0 +1,110 @@
+"""Validation of the message-level AIACC engine against spec and timing."""
+
+import numpy as np
+import pytest
+
+from repro.core.message_engine import run_message_level_iteration
+from repro.core.runtime import AIACCConfig
+from repro.models.synthetic import random_model_spec
+
+
+def small_model(seed=0, params=800_000, layers=12):
+    return random_model_spec(seed, num_layers=layers,
+                             total_parameters=params,
+                             total_forward_flops=1e9,
+                             compute_occupancy=0.5)
+
+
+class TestNumericCorrectness:
+    def test_reduction_matches_math(self):
+        model = small_model()
+        config = AIACCConfig(num_streams=4, granularity_bytes=1 << 20)
+        result = run_message_level_iteration(model, 2, 2, config=config)
+        world = 4
+        # value(worker, p) = base_p + rank; sum = world*base + 0+1+2+3.
+        for spec_param in model.parameters():
+            name = spec_param.name
+            for rank in range(world):
+                got = result.reduced[rank][name]
+                assert got.shape == (spec_param.num_elements,)
+            first = result.reduced[0][name]
+            np.testing.assert_allclose(first, first[0])  # constant tensor
+        # Workers agree bit-for-bit.
+        for name in result.reduced[0]:
+            for rank in range(1, world):
+                np.testing.assert_array_equal(result.reduced[0][name],
+                                              result.reduced[rank][name])
+
+    def test_expected_sums(self):
+        model = small_model(seed=3, params=10_000, layers=4)
+        result = run_message_level_iteration(
+            model, 2, 2, config=AIACCConfig(granularity_bytes=1 << 20),
+            seed=3)
+        # Rebuild the expected values: sum over ranks of (base + rank).
+        rng = np.random.default_rng(3)
+        for parameter in model.parameters():
+            base = float(rng.normal())
+            expected = 4 * base + (0 + 1 + 2 + 3)
+            got = result.reduced[0][parameter.name]
+            np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+    def test_all_parameters_reduced(self):
+        model = small_model(seed=5)
+        result = run_message_level_iteration(model, 2, 2)
+        assert set(result.reduced[0]) == \
+            {p.name for p in model.parameters()}
+
+    def test_units_and_sync_rounds_counted(self):
+        model = small_model(seed=7, params=2_000_000)
+        config = AIACCConfig(granularity_bytes=1 << 20)
+        result = run_message_level_iteration(model, 2, 2, config=config)
+        # ~8 MB of gradients at 1 MB granularity -> >= 8 units.
+        assert result.units >= 8
+        assert result.sync_rounds >= 1
+
+
+class TestTimingAgreement:
+    def test_matches_timed_engine_within_tolerance(self):
+        from repro.core.engine import AIACCBackend
+        from repro.training.trainer import run_training
+
+        model = small_model(seed=11, params=4_000_000, layers=16)
+        config = AIACCConfig(num_streams=4, granularity_bytes=2 << 20)
+
+        message = run_message_level_iteration(model, 2, 2, config=config)
+
+        timed = run_training(
+            model, AIACCBackend(config), 4, gpus_per_node=2,
+            batch_per_gpu=1, measure_iterations=1, warmup_iterations=0)
+        # Compare the communication portions: the message-level run has
+        # zero compute; subtract the timed run's compute floor.  The
+        # message-level ring moves whole S/n chunks per step (real NCCL
+        # pipelines many slices per chunk), so its duration is an upper
+        # bound on the fluid model's fully pipelined estimate; agreement
+        # within 2x validates volumes and contention without modelling
+        # slice-level pipelining.
+        timed_comm = timed.mean_iteration_s - timed.compute_time_s
+        assert timed_comm * 0.9 <= message.iteration_time_s <= \
+            2.0 * timed_comm + 5e-3
+
+    def test_multi_stream_faster_than_single(self):
+        model = small_model(seed=13, params=4_000_000)
+        single = run_message_level_iteration(
+            model, 2, 2, config=AIACCConfig(num_streams=1,
+                                            granularity_bytes=1 << 20))
+        multi = run_message_level_iteration(
+            model, 2, 2, config=AIACCConfig(num_streams=8,
+                                            granularity_bytes=1 << 20))
+        assert multi.iteration_time_s < single.iteration_time_s
+
+    def test_compute_overlap_hides_communication(self):
+        model = small_model(seed=17, params=2_000_000)
+        config = AIACCConfig(num_streams=8, granularity_bytes=1 << 20)
+        idle = run_message_level_iteration(model, 2, 2, config=config)
+        overlapped = run_message_level_iteration(
+            model, 2, 2, config=config,
+            compute_time_s=idle.iteration_time_s)
+        # With backward spread over the full comm duration, total time
+        # grows by far less than 2x (communication overlaps compute).
+        assert overlapped.iteration_time_s < \
+            1.6 * max(idle.iteration_time_s, 1e-9) + 1e-9

@@ -1,0 +1,149 @@
+"""Edge-case tests for events: failure propagation, composition."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestFailurePropagation:
+    def test_all_of_fails_on_first_child_failure(self):
+        sim = Simulator()
+        good = sim.timeout(5.0)
+        bad = sim.event()
+        combined = sim.all_of([good, bad])
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(RuntimeError("child failed"))
+
+        sim.spawn(failer())
+        sim.run(until=combined)
+        assert combined.triggered
+        assert not combined.ok
+        assert isinstance(combined.value, RuntimeError)
+
+    def test_all_of_value_order_matches_input(self):
+        sim = Simulator()
+        slow = sim.timeout(2.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        combined = sim.all_of([slow, fast])
+        sim.run()
+        assert combined.value == ["slow", "fast"]
+
+    def test_any_of_failure_of_first_child_propagates(self):
+        sim = Simulator()
+        never = sim.event()
+        bad = sim.event()
+        first = sim.any_of([never, bad])
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(ValueError("boom"))
+
+        sim.spawn(failer())
+        sim.run(until=first)
+        assert not first.ok
+
+    def test_any_of_ignores_later_children(self):
+        sim = Simulator()
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(2.0, value="slow")
+        first = sim.any_of([fast, slow])
+        sim.run()
+        assert first.value == (0, "fast")
+
+    def test_callback_after_trigger_fires_immediately(self):
+        sim = Simulator()
+        event = sim.timeout(1.0, value=7)
+        sim.run()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        assert seen == [7]
+
+    def test_nested_all_of(self):
+        sim = Simulator()
+        inner = sim.all_of([sim.timeout(1, value=1), sim.timeout(2, value=2)])
+        outer = sim.all_of([inner, sim.timeout(3, value=3)])
+        sim.run()
+        assert outer.value == [[1, 2], 3]
+
+
+class TestProcessEdgeCases:
+    def test_process_waiting_on_already_triggered_event(self):
+        sim = Simulator()
+        event = sim.timeout(0.5, value="early")
+        sim.run()
+
+        def late_waiter():
+            value = yield event
+            return value
+
+        proc = sim.spawn(late_waiter())
+        sim.run()
+        assert proc.value == "early"
+
+    def test_two_processes_wait_on_same_event(self):
+        sim = Simulator()
+        shared = sim.timeout(1.0, value="shared")
+        results = []
+
+        def waiter(label):
+            value = yield shared
+            results.append((label, value))
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.run()
+        assert sorted(results) == [("a", "shared"), ("b", "shared")]
+
+    def test_immediate_return_process(self):
+        sim = Simulator()
+
+        def instant():
+            return "done"
+            yield  # pragma: no cover
+
+        proc = sim.spawn(instant())
+        sim.run()
+        assert proc.value == "done"
+
+    def test_deep_process_chain(self):
+        sim = Simulator()
+
+        def chain(depth):
+            if depth == 0:
+                return 0
+                yield  # pragma: no cover
+            sub = yield sim.spawn(chain(depth - 1))
+            return sub + 1
+
+        proc = sim.spawn(chain(50))
+        sim.run()
+        assert proc.value == 50
+
+    def test_queue_length_reporting(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        assert sim.queue_length == 2
+        sim.run()
+        assert sim.queue_length == 0
+
+    def test_event_from_other_simulator_rejected(self):
+        sim_a = Simulator()
+        sim_b = Simulator()
+        foreign = sim_b.timeout(1.0)
+
+        def parent():
+            def bad():
+                yield foreign
+
+            try:
+                yield sim_a.spawn(bad())
+            except SimulationError:
+                return "rejected"
+
+        proc = sim_a.spawn(parent())
+        sim_a.run()
+        assert proc.value == "rejected"

@@ -1,0 +1,223 @@
+"""Tests for the fluid network model: fair sharing and per-stream caps."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim import FluidNetwork, Link, Simulator
+
+
+def make_net(capacity_bps=1e9, latency_s=0.0):
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    link = Link("l0", capacity_bps, latency_s)
+    return sim, net, link
+
+
+class TestLinkValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(NetworkError):
+            Link("bad", 0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(NetworkError):
+            Link("bad", 1e9, latency_s=-1)
+
+
+class TestSingleFlow:
+    def test_uncapped_flow_uses_full_link(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=1e9)  # 8e9 bits
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_capped_flow_limited_to_cap(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=1e9, rate_cap_bps=2e9)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_latency_added_to_completion(self):
+        sim, net, link = make_net(capacity_bps=8e9, latency_s=0.5)
+        done = net.start_flow([link], size_bytes=1e9)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.5)
+
+    def test_zero_size_flow_is_pure_latency(self):
+        sim, net, link = make_net(latency_s=0.25)
+        done = net.start_flow([link], size_bytes=0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(0.25)
+
+    def test_extra_delay(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=1e9, extra_delay_s=0.3)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.3)
+
+    def test_flow_requires_links(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        with pytest.raises(NetworkError):
+            net.start_flow([], size_bytes=100)
+
+
+class TestFairSharing:
+    def test_two_equal_flows_split_link(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        d1 = net.start_flow([link], size_bytes=1e9)
+        d2 = net.start_flow([link], size_bytes=1e9)
+        sim.run(until=sim.all_of([d1, d2]))
+        # Each gets 4 Gbps -> 2 seconds for 8 Gbit.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_short_flow_finishes_and_releases_bandwidth(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        long = net.start_flow([link], size_bytes=1e9)     # 8 Gbit
+        short = net.start_flow([link], size_bytes=0.25e9)  # 2 Gbit
+        sim.run(until=short)
+        # Short flow at 4 Gbps finishes its 2 Gbit in 0.5 s.
+        assert sim.now == pytest.approx(0.5)
+        sim.run(until=long)
+        # Long flow: 2 Gbit done at 0.5s, remaining 6 Gbit at 8 Gbps = 0.75 s.
+        assert sim.now == pytest.approx(1.25)
+
+    def test_late_arrival_reallocates(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        first = net.start_flow([link], size_bytes=1e9)
+
+        def late_starter():
+            yield sim.timeout(0.5)
+            done = net.start_flow([link], size_bytes=1e9)
+            yield done
+            return sim.now
+
+        proc = sim.spawn(late_starter())
+        sim.run()
+        # First: 4 Gbit in 0.5 s alone, then shares; both need 4 and 8 Gbit.
+        # At 4 Gbps each: first done at 0.5 + 1.0 = 1.5, then second alone:
+        # 8 - 4 = 4 Gbit sent by 1.5s, remaining 4 Gbit at 8 Gbps = 0.5s.
+        assert first.triggered
+        assert proc.value == pytest.approx(2.0)
+
+    def test_caps_leave_bandwidth_unused(self):
+        # Two flows capped at 30% each can only reach 60% utilisation:
+        # the single-TCP-stream effect from the paper.
+        sim, net, link = make_net(capacity_bps=10e9)
+        cap = 3e9
+        d1 = net.start_flow([link], size_bytes=1e9, rate_cap_bps=cap)
+        d2 = net.start_flow([link], size_bytes=1e9, rate_cap_bps=cap)
+        assert net.utilization_of(link) == pytest.approx(0.6)
+        sim.run(until=sim.all_of([d1, d2]))
+        assert sim.now == pytest.approx(8e9 / 3e9)
+
+    def test_many_capped_flows_saturate_link(self):
+        sim, net, link = make_net(capacity_bps=10e9)
+        flows = [net.start_flow([link], size_bytes=1e9, rate_cap_bps=3e9)
+                 for _ in range(5)]
+        # 5 * 3 Gbps > 10 Gbps: fair share 2 Gbps each, fully utilised.
+        assert net.utilization_of(link) == pytest.approx(1.0)
+        sim.run(until=sim.all_of(flows))
+        assert sim.now == pytest.approx(8e9 / 2e9)
+
+    def test_multi_link_flow_bottlenecked_by_slowest(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        fast = Link("fast", 10e9)
+        slow = Link("slow", 2e9)
+        done = net.start_flow([fast, slow], size_bytes=1e9)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_cross_traffic_on_shared_link(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        a = Link("a", 10e9)
+        shared = Link("shared", 10e9)
+        b = Link("b", 10e9)
+        f1 = net.start_flow([a, shared], size_bytes=1e9)
+        f2 = net.start_flow([b, shared], size_bytes=1e9)
+        sim.run(until=sim.all_of([f1, f2]))
+        # Both share the middle link at 5 Gbps.
+        assert sim.now == pytest.approx(8e9 / 5e9)
+
+    def test_heterogeneous_caps(self):
+        sim, net, link = make_net(capacity_bps=10e9)
+        capped = net.start_flow([link], size_bytes=1e9, rate_cap_bps=1e9)
+        free = net.start_flow([link], size_bytes=1e9)
+        # Capped flow pinned at 1 Gbps; free flow gets the remaining 9 Gbps.
+        assert net.utilization_of(link) == pytest.approx(1.0)
+        sim.run(until=free)
+        assert sim.now == pytest.approx(8e9 / 9e9)
+        sim.run(until=capped)
+        assert sim.now == pytest.approx(8.0)
+
+
+class TestAccounting:
+    def test_bits_delivered(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=1e9)
+        sim.run(until=done)
+        assert net.bits_delivered == pytest.approx(8e9)
+
+    def test_flow_duration_reported(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=1e9)
+        sim.run(until=done)
+        assert done.value == pytest.approx(1.0)
+
+
+class TestDynamicCapacity:
+    """Mid-run link capacity changes ('network ... can vary during
+    runtime', paper §I)."""
+
+    def test_capacity_drop_slows_flow(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=1e9)  # 8 Gbit
+
+        def degrade():
+            yield sim.timeout(0.5)  # 4 Gbit sent
+            net.set_link_capacity(link, 2e9)
+
+        sim.spawn(degrade())
+        sim.run(until=done)
+        # Remaining 4 Gbit at 2 Gbps = 2 s after the drop.
+        assert sim.now == pytest.approx(2.5)
+
+    def test_capacity_raise_speeds_flow(self):
+        sim, net, link = make_net(capacity_bps=2e9)
+        done = net.start_flow([link], size_bytes=1e9)
+
+        def upgrade():
+            yield sim.timeout(1.0)  # 2 Gbit sent
+            net.set_link_capacity(link, 6e9)
+
+        sim.spawn(upgrade())
+        sim.run(until=done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_flap_cycle(self):
+        sim, net, link = make_net(capacity_bps=8e9)
+        done = net.start_flow([link], size_bytes=2e9)  # 16 Gbit
+
+        def flapper():
+            yield sim.timeout(0.5)   # 4 Gbit
+            net.set_link_capacity(link, 1e9)
+            yield sim.timeout(1.0)   # +1 Gbit
+            net.set_link_capacity(link, 8e9)
+
+        sim.spawn(flapper())
+        sim.run(until=done)
+        # 16 = 4 + 1 + 11 -> 0.5 + 1.0 + 11/8.
+        assert sim.now == pytest.approx(0.5 + 1.0 + 11 / 8)
+
+    def test_invalid_capacity_rejected(self):
+        sim, net, link = make_net()
+        with pytest.raises(NetworkError):
+            net.set_link_capacity(link, 0)
+
+    def test_caps_still_respected_after_raise(self):
+        sim, net, link = make_net(capacity_bps=2e9)
+        done = net.start_flow([link], size_bytes=1e9, rate_cap_bps=1e9)
+        net.set_link_capacity(link, 100e9)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(8.0)

@@ -1,0 +1,189 @@
+"""Tests for Resource, Store and PriorityStore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.resources import PriorityStore, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_acquire_release_cycle(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def worker(label, hold):
+            yield resource.acquire()
+            log.append((label, "in", sim.now))
+            yield sim.timeout(hold)
+            log.append((label, "out", sim.now))
+            resource.release()
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 3.0),
+        ]
+
+    def test_parallel_slots(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        done_times = []
+
+        def worker():
+            yield resource.acquire()
+            yield sim.timeout(1.0)
+            resource.release()
+            done_times.append(sim.now)
+
+        for _ in range(4):
+            sim.spawn(worker())
+        sim.run()
+        assert done_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        assert resource.try_acquire()
+        assert not resource.try_acquire()
+        resource.release()
+        assert resource.try_acquire()
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_resize_wakes_waiters(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        entered = []
+
+        def worker(label):
+            yield resource.acquire()
+            entered.append((label, sim.now))
+            yield sim.timeout(10.0)
+            resource.release()
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+
+        def grow():
+            yield sim.timeout(1.0)
+            resource.resize(2)
+
+        sim.spawn(grow())
+        sim.run()
+        assert entered == [("a", 0.0), ("b", 1.0)]
+
+    def test_available(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=3)
+        assert resource.available == 3
+        resource.try_acquire()
+        assert resource.available == 2
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append(item)
+
+        sim.spawn(getter())
+        sim.run()
+        assert results == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append((item, sim.now))
+
+        def putter():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        sim.spawn(getter())
+        sim.spawn(putter())
+        sim.run()
+        assert results == [("late", 3.0)]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        received = []
+
+        def getter():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        sim.spawn(getter())
+        sim.run()
+        assert received == [1, 2, 3]
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+        assert len(store) == 0
+
+
+class TestPriorityStore:
+    def test_smallest_first(self):
+        sim = Simulator()
+        store = PriorityStore(sim)
+        for priority in (5, 1, 3):
+            store.put(f"item{priority}", priority=priority)
+        received = []
+
+        def getter():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        sim.spawn(getter())
+        sim.run()
+        assert received == ["item1", "item3", "item5"]
+
+    def test_blocking_get(self):
+        sim = Simulator()
+        store = PriorityStore(sim)
+        received = []
+
+        def getter():
+            item = yield store.get()
+            received.append((item, sim.now))
+
+        def putter():
+            yield sim.timeout(2.0)
+            store.put("a", priority=0)
+
+        sim.spawn(getter())
+        sim.spawn(putter())
+        sim.run()
+        assert received == [("a", 2.0)]

@@ -1,0 +1,141 @@
+"""Tests for topology features (core oversubscription) and trace export."""
+
+import json
+
+import pytest
+
+from repro.collectives import TimedCollectives
+from repro.errors import TopologyError
+from repro.sim import FluidNetwork, Simulator, Trace, alibaba_v100_cluster
+from repro.sim.topology import Cluster, NodeSpec
+
+
+class TestClusterBasics:
+    def test_world_size_and_rank_math(self):
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 32)
+        assert cluster.world_size == 32
+        assert cluster.num_nodes == 4
+        assert cluster.node_of(17) == 2
+        assert cluster.local_rank(17) == 1
+
+    def test_rank_out_of_range(self):
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 8)
+        with pytest.raises(TopologyError):
+            cluster.node_of(8)
+
+    def test_partial_node_allowed_below_eight(self):
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 4)
+        assert cluster.world_size == 4
+        assert cluster.num_nodes == 1
+
+    def test_indivisible_gpu_count_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TopologyError):
+            alibaba_v100_cluster(sim, 12)
+
+    def test_path_between_same_node_uses_nvlink(self):
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 16)
+        path = cluster.path_between(0, 3)
+        assert path == [cluster.nvlink[0]]
+
+    def test_path_between_nodes_uses_nics(self):
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 16)
+        path = cluster.path_between(0, 9)
+        assert path == [cluster.nic_out[0], cluster.nic_in[1]]
+
+    def test_topology_graph_shape(self):
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 32)
+        graph = cluster.topology_graph()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 6  # complete graph K4
+
+
+class TestOversubscription:
+    def test_core_link_created(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 8, NodeSpec(), core_oversubscription=4.0)
+        assert cluster.core is not None
+        assert not cluster.is_symmetric
+        # Core capacity = m * NIC_effective / factor.
+        expected = 8 * 0.96 * 30e9 / 4.0
+        assert cluster.core.capacity_bps == pytest.approx(expected)
+
+    def test_nonblocking_has_no_core(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 8, NodeSpec())
+        assert cluster.core is None
+        assert cluster.is_symmetric
+
+    def test_core_in_inter_node_paths(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 4, NodeSpec(), core_oversubscription=2.0)
+        path = cluster.path_between(0, 9)
+        assert cluster.core in path
+
+    def test_oversubscription_slows_concurrent_allreduces(self):
+        def run(factor):
+            sim = Simulator()
+            net = FluidNetwork(sim)
+            cluster = Cluster(sim, 8, NodeSpec(),
+                              core_oversubscription=factor)
+            timed = TimedCollectives(sim, net, cluster)
+            events = [timed.allreduce(20e6) for _ in range(8)]
+            sim.run(until=sim.all_of(events))
+            return sim.now
+
+        assert run(4.0) > 2.5 * run(1.0)
+
+    def test_invalid_factor_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TopologyError):
+            Cluster(sim, 4, NodeSpec(), core_oversubscription=0.5)
+
+
+class TestChromeTraceExport:
+    def test_spans_become_complete_events(self):
+        trace = Trace(enabled=True, keep_spans=True)
+        trace.add_span("allreduce", 1.0, 1.5, bytes=100)
+        trace.add_span("compute", 0.0, 1.0)
+        trace.point("failure", 0.7, node=3)
+        events = trace.to_chrome_trace()
+        assert len(events) == 3
+        assert events[0]["ts"] <= events[1]["ts"] <= events[2]["ts"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"allreduce", "compute"}
+        allreduce = next(e for e in complete if e["name"] == "allreduce")
+        assert allreduce["ts"] == pytest.approx(1e6)
+        assert allreduce["dur"] == pytest.approx(0.5e6)
+
+    def test_output_is_json_serializable(self):
+        trace = Trace(enabled=True, keep_spans=True)
+        trace.add_span("x", 0.0, 1.0, meta_obj=object())
+        json.dumps(trace.to_chrome_trace())  # repr() makes it safe
+
+    def test_requires_keep_spans(self):
+        trace = Trace(enabled=True, keep_spans=False)
+        with pytest.raises(ValueError):
+            trace.to_chrome_trace()
+
+    def test_busy_fraction(self):
+        trace = Trace(enabled=True)
+        trace.add_span("comm", 0.0, 2.0)
+        trace.add_span("comm", 3.0, 4.0)
+        assert trace.busy_fraction("comm", 10.0) == pytest.approx(0.3)
+
+    def test_disabled_trace_is_noop(self):
+        trace = Trace(enabled=False)
+        trace.add_span("x", 0.0, 1.0)
+        trace.incr("c")
+        assert not trace.busy_time
+        assert not trace.counters
+
+    def test_invalid_span_rejected(self):
+        trace = Trace(enabled=True)
+        with pytest.raises(ValueError):
+            trace.add_span("x", 2.0, 1.0)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_bench_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out
+        assert "bert-large" in out
+
+    def test_train(self, capsys):
+        assert main(["train", "--model", "resnet50", "--gpus", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "scaling efficiency" in out
+
+    def test_train_with_aiacc_overrides(self, capsys):
+        assert main(["train", "--gpus", "16", "--streams", "4",
+                     "--granularity-mb", "8"]) == 0
+
+    def test_train_rdma(self, capsys):
+        assert main(["train", "--model", "gpt2-xl", "--gpus", "16",
+                     "--rdma"]) == 0
+
+    def test_train_unknown_backend_errors(self, capsys):
+        assert main(["train", "--backend", "gloo", "--gpus", "8"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_single_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Horovod" in out or "horovod" in out
+        assert (tmp_path / "results" / "fig2.md").exists()
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--model", "resnet50", "--gpus", "16",
+                     "--budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "streams:" in out
+        assert "algorithm:" in out
+
+    def test_translate_horovod(self, capsys, tmp_path):
+        script = tmp_path / "train.py"
+        script.write_text("import horovod.torch as hvd\n")
+        assert main(["translate", str(script)]) == 0
+        assert "repro.core.perseus" in capsys.readouterr().out
+
+    def test_translate_sequential_to_file(self, tmp_path, capsys):
+        script = tmp_path / "train.py"
+        script.write_text("opt = SGD(lr=0.1)\n")
+        output = tmp_path / "out.py"
+        assert main(["translate", str(script), "--mode", "sequential",
+                     "--workers", "4", "--output", str(output)]) == 0
+        assert "DistributedOptimizer" in output.read_text()
+
+    def test_translate_error_reported(self, tmp_path, capsys):
+        script = tmp_path / "train.py"
+        script.write_text("x = 1\n")
+        assert main(["translate", str(script), "--mode",
+                     "sequential"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestNewBenchEntries:
+    @pytest.mark.parametrize("experiment", ["congested", "insightface",
+                                            "futuregpu"])
+    def test_bench_entry_runs(self, experiment, capsys, tmp_path,
+                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", experiment]) == 0
+        assert (tmp_path / "results" / f"{experiment}.md").exists()
+
+    def test_bench_chart_rendered_for_congested(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        main(["bench", "congested"])
+        out = capsys.readouterr().out
+        assert "#" in out  # the ascii bar chart

@@ -1,0 +1,82 @@
+"""Meta-tests: README snippets run, API docs stay fresh, exports exist."""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestReadmeSnippets:
+    def test_python_snippet_executes(self):
+        readme = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README must contain a python example"
+        for block in blocks:
+            exec(compile(block, "<README>", "exec"), {})  # noqa: S102
+
+    def test_documented_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (ROOT / match).exists(), match
+
+    def test_documented_cli_commands_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        readme = (ROOT / "README.md").read_text()
+        for line in re.findall(r"python -m repro ([^\n#]+)", readme):
+            args = line.strip().split()
+            # `translate` references a placeholder file; parsing suffices.
+            parser.parse_args(args)
+
+
+class TestApiDocs:
+    def test_api_doc_covers_all_packages(self):
+        api = (ROOT / "docs" / "api.md").read_text()
+        for package in ("repro.sim", "repro.collectives", "repro.models",
+                        "repro.frameworks", "repro.core", "repro.autotune",
+                        "repro.training", "repro.harness"):
+            assert f"## `{package}`" in api, package
+
+    def test_api_doc_in_sync_with_exports(self):
+        # Every exported name must appear in the generated reference.
+        api = (ROOT / "docs" / "api.md").read_text()
+        missing = []
+        for package in ("repro.core", "repro.training", "repro.harness"):
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                if f"`{name}`" not in api:
+                    missing.append(f"{package}.{name}")
+        assert not missing, (
+            f"docs/api.md is stale; run tools/gen_api_docs.py: {missing}"
+        )
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("package", [
+        "repro.sim", "repro.collectives", "repro.models",
+        "repro.frameworks", "repro.core", "repro.autotune",
+        "repro.training", "repro.harness",
+    ])
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, name
+
+    @pytest.mark.parametrize("package", [
+        "repro.sim", "repro.collectives", "repro.models",
+        "repro.frameworks", "repro.core", "repro.autotune",
+        "repro.training", "repro.harness",
+    ])
+    def test_all_lists_sorted_unique(self, package):
+        module = importlib.import_module(package)
+        exported = list(module.__all__)
+        assert len(exported) == len(set(exported)), "duplicate exports"
+
+    def test_version_exposed(self):
+        import repro
+
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)

@@ -1,0 +1,110 @@
+"""End-to-end numeric training tests: distributed == single-worker math."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import AIACCConfig
+from repro.errors import TrainingError
+from repro.training.numeric import (
+    TinyMLP,
+    make_synthetic_task,
+    train_data_parallel,
+    train_single,
+)
+from repro.training.optimizer import SGD, DistributedOptimizer
+
+
+class TestEquivalence:
+    """Data-parallel training must match single-worker training."""
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_parameters_match_single_worker(self, num_workers):
+        task = make_synthetic_task(num_samples=256, seed=0)
+        global_batch = 32
+        steps = 5
+
+        reference = TinyMLP(16, 8, 4, seed=1)
+        ref_losses = train_single(reference, task, SGD(lr=0.1), steps,
+                                  global_batch)
+
+        model = TinyMLP(16, 8, 4, seed=1)
+        worker_params, dp_losses = train_data_parallel(
+            model, task, SGD(lr=0.1), steps, num_workers, global_batch)
+
+        for name, value in reference.parameters.items():
+            for params in worker_params:
+                np.testing.assert_allclose(params[name], value,
+                                           rtol=1e-5, atol=1e-6)
+
+    def test_workers_stay_in_sync(self):
+        task = make_synthetic_task(seed=2)
+        model = TinyMLP(16, 8, 4, seed=3)
+        worker_params, _ = train_data_parallel(
+            model, task, SGD(lr=0.1, momentum=0.9), 8, 4, 64)
+        for name in worker_params[0]:
+            for other in worker_params[1:]:
+                np.testing.assert_array_equal(worker_params[0][name],
+                                              other[name])
+
+    def test_loss_decreases(self):
+        task = make_synthetic_task(seed=4)
+        model = TinyMLP(16, 16, 4, seed=5)
+        _, losses = train_data_parallel(
+            model, task, SGD(lr=0.2, momentum=0.9), 20, 2, 64)
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_accuracy_improves(self):
+        task = make_synthetic_task(num_samples=512, seed=6)
+        model = TinyMLP(16, 16, 4, seed=7)
+        before = TinyMLP.accuracy(model.parameters, task.inputs,
+                                  task.labels)
+        worker_params, _ = train_data_parallel(
+            model, task, SGD(lr=0.2, momentum=0.9), 30, 4, 64)
+        after = TinyMLP.accuracy(worker_params[0], task.inputs, task.labels)
+        assert after > max(before, 0.5)
+
+    def test_fp16_compression_still_converges(self):
+        task = make_synthetic_task(seed=8)
+        model = TinyMLP(16, 16, 4, seed=9)
+        config = AIACCConfig(fp16_compression=True)
+        _, losses = train_data_parallel(
+            model, task, SGD(lr=0.2), 20, 2, 64, config=config)
+        assert losses[-1] < losses[0]
+
+    def test_small_granularity_same_result_as_large(self):
+        task = make_synthetic_task(seed=10)
+        tiny_units = train_data_parallel(
+            TinyMLP(16, 8, 4, seed=11), task, SGD(lr=0.1), 4, 2, 32,
+            config=AIACCConfig(granularity_bytes=512 * 1024))[0]
+        default_units = train_data_parallel(
+            TinyMLP(16, 8, 4, seed=11), task, SGD(lr=0.1), 4, 2, 32)[0]
+        for name in tiny_units[0]:
+            np.testing.assert_allclose(tiny_units[0][name],
+                                       default_units[0][name], rtol=1e-6)
+
+    def test_indivisible_batch_rejected(self):
+        task = make_synthetic_task(seed=12)
+        with pytest.raises(TrainingError):
+            train_data_parallel(TinyMLP(16, 8, 4), task, SGD(lr=0.1),
+                                1, 3, 32)
+
+
+class TestDistributedOptimizer:
+    def test_worker_count_validated(self):
+        from repro.core.perseus import init
+
+        session = init(2)
+        optimizer = DistributedOptimizer(SGD(lr=0.1), session)
+        with pytest.raises(TrainingError):
+            optimizer.step([{"w": np.zeros(2)}], [{"w": np.zeros(2)}])
+
+    def test_auto_registration_on_first_step(self):
+        from repro.core.perseus import init
+
+        session = init(2)
+        optimizer = DistributedOptimizer(SGD(lr=0.1), session)
+        params = [{"w": np.ones(3)} for _ in range(2)]
+        grads = [{"w": np.full(3, 0.5)} for _ in range(2)]
+        optimizer.step(params, grads)
+        assert session.registered
+        np.testing.assert_allclose(params[0]["w"], np.full(3, 0.95))

@@ -1,0 +1,118 @@
+"""Tests for pipeline parallelism (timed plan + numeric equivalence)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.models import get_model
+from repro.training.numeric import TinyMLP, make_synthetic_task
+from repro.training.pipeline import (
+    NumericPipeline,
+    plan_pipeline,
+    run_pipeline_training,
+)
+
+
+class TestPlan:
+    def test_stage_bounds_partition_layers(self):
+        plan = plan_pipeline("vgg16", num_stages=4)
+        assert plan.stage_bounds[0][0] == 0
+        assert plan.stage_bounds[-1][1] == len(plan.model.layers)
+        for (lo1, hi1), (lo2, hi2) in zip(plan.stage_bounds,
+                                          plan.stage_bounds[1:]):
+            assert hi1 == lo2
+        assert all(hi > lo for lo, hi in plan.stage_bounds)
+
+    def test_stages_flops_balanced(self):
+        plan = plan_pipeline("bert-large", num_stages=4)
+        flops = [plan.stage_spec(s).forward_flops
+                 for s in range(plan.num_stages)]
+        assert max(flops) < 2.0 * min(f for f in flops if f > 0)
+
+    def test_bubble_fraction_formula(self):
+        plan = plan_pipeline("resnet50", num_stages=4, micro_batches=12)
+        assert plan.bubble_fraction == pytest.approx(3 / 15)
+
+    def test_more_micro_batches_smaller_bubble(self):
+        few = plan_pipeline("resnet50", 4, micro_batches=4)
+        many = plan_pipeline("resnet50", 4, micro_batches=32)
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_default_micro_batches(self):
+        plan = plan_pipeline("resnet50", num_stages=4)
+        assert plan.micro_batches == 16
+
+    def test_single_stage_no_bubble(self):
+        plan = plan_pipeline("resnet50", num_stages=1)
+        assert plan.bubble_fraction == 0.0
+        assert plan.stage_spec(0).num_parameters == \
+            plan.model.num_parameters
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(TrainingError):
+            plan_pipeline("vgg16", num_stages=1000)
+
+    def test_stage_parameters_sum_to_model(self):
+        plan = plan_pipeline("resnet101", num_stages=8)
+        total = sum(plan.stage_spec(s).num_parameters
+                    for s in range(plan.num_stages))
+        assert total == plan.model.num_parameters
+
+
+class TestTimedPipeline:
+    def test_runs_and_reports(self):
+        result = run_pipeline_training("bert-large", "aiacc", 32,
+                                       num_stages=4,
+                                       measure_iterations=2,
+                                       warmup_iterations=1)
+        assert result.throughput > 0
+
+    def test_pipeline_reduces_per_gpu_gradient_volume(self):
+        # With 4 stages each GPU all-reduces ~1/4 of the model, so a
+        # comm-bound model trains faster per pipeline than pure DP on
+        # the same worker count would for the full model... verified
+        # indirectly: the pacing stage has ~1/4 the parameters.
+        plan = plan_pipeline("bert-large", num_stages=4)
+        pacing = plan.heaviest_stage_spec()
+        assert pacing.num_parameters < 0.5 * plan.model.num_parameters
+
+    def test_indivisible_gpus_rejected(self):
+        with pytest.raises(TrainingError):
+            run_pipeline_training("bert-large", "aiacc", 10, num_stages=4)
+
+
+class TestNumericPipeline:
+    def test_equivalent_to_full_batch_backward(self):
+        task = make_synthetic_task(num_samples=64, seed=0)
+        model = TinyMLP(16, 8, 4, seed=1)
+        inputs, labels = task.inputs[:32], task.labels[:32]
+
+        ref_loss, ref_grads = TinyMLP.loss_and_grads(
+            model.parameters, inputs, labels)
+        pipeline = NumericPipeline(model.parameters, micro_batches=4)
+        pipe_loss, pipe_grads = pipeline.loss_and_grads(inputs, labels)
+
+        assert pipe_loss == pytest.approx(ref_loss, rel=1e-9)
+        for name in ref_grads:
+            np.testing.assert_allclose(pipe_grads[name], ref_grads[name],
+                                       rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("micro_batches", [1, 2, 8])
+    def test_any_micro_batch_count(self, micro_batches):
+        task = make_synthetic_task(num_samples=64, seed=2)
+        model = TinyMLP(16, 8, 4, seed=3)
+        pipeline = NumericPipeline(model.parameters,
+                                   micro_batches=micro_batches)
+        _, ref = TinyMLP.loss_and_grads(model.parameters,
+                                        task.inputs[:32], task.labels[:32])
+        _, got = pipeline.loss_and_grads(task.inputs[:32], task.labels[:32])
+        for name in ref:
+            np.testing.assert_allclose(got[name], ref[name], rtol=1e-9,
+                                       atol=1e-12)
+
+    def test_indivisible_batch_rejected(self):
+        model = TinyMLP(16, 8, 4)
+        pipeline = NumericPipeline(model.parameters, micro_batches=3)
+        task = make_synthetic_task(num_samples=32, seed=4)
+        with pytest.raises(TrainingError):
+            pipeline.loss_and_grads(task.inputs[:32], task.labels[:32])

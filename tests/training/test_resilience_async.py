@@ -1,0 +1,160 @@
+"""Tests for failure-injected training and asynchronous data parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.training.async_dp import StaleGradientTrainer, async_iteration_time_s
+from repro.training.numeric import TinyMLP, make_synthetic_task
+from repro.training.optimizer import SGD
+from repro.training.resilience import (
+    checkpoint_write_time_s,
+    optimal_checkpoint_interval,
+    simulate_resilient_training,
+)
+
+
+class TestResilience:
+    def test_no_failures_only_checkpoint_overhead(self):
+        result = simulate_resilient_training(
+            "resnet50", iteration_time_s=0.25, total_iterations=100,
+            checkpoint_interval=10)
+        assert result.failures == 0
+        assert result.wasted_iterations == 0
+        assert result.recovery_time_s == 0.0
+        expected_ckpts = 10 * checkpoint_write_time_s("resnet50")
+        assert result.checkpoint_time_s == pytest.approx(expected_ckpts)
+        assert result.goodput < 1.0
+
+    def test_failure_loses_work_since_checkpoint(self):
+        result = simulate_resilient_training(
+            "resnet50", iteration_time_s=0.25, total_iterations=100,
+            checkpoint_interval=10, failure_at=[25])
+        # Failure after iteration 26 (index 25): 6 iterations past the
+        # checkpoint at 20 are lost.
+        assert result.failures == 1
+        assert result.wasted_iterations == 6
+        assert result.recovery_time_s > 30.0
+
+    def test_failure_right_after_checkpoint_loses_one(self):
+        result = simulate_resilient_training(
+            "resnet50", iteration_time_s=0.25, total_iterations=50,
+            checkpoint_interval=10, failure_at=[10])
+        assert result.wasted_iterations == 1
+
+    def test_multiple_failures(self):
+        result = simulate_resilient_training(
+            "resnet50", iteration_time_s=0.25, total_iterations=100,
+            checkpoint_interval=20, failure_at=[30, 70])
+        assert result.failures == 2
+        assert result.wasted_iterations > 0
+        assert result.goodput < 0.95
+
+    def test_tighter_checkpoints_help_under_failures(self):
+        failures = list(range(9, 200, 20))
+        loose = simulate_resilient_training(
+            "bert-large", 1.0, 200, checkpoint_interval=100,
+            failure_at=failures)
+        tight = simulate_resilient_training(
+            "bert-large", 1.0, 200, checkpoint_interval=10,
+            failure_at=failures)
+        assert tight.total_time_s < loose.total_time_s
+
+    def test_goodput_definition(self):
+        result = simulate_resilient_training(
+            "resnet50", 0.5, 40, 10, failure_at=[15])
+        assert result.goodput == pytest.approx(
+            result.ideal_time_s / result.total_time_s)
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            simulate_resilient_training("resnet50", 0, 10, 5)
+        with pytest.raises(TrainingError):
+            simulate_resilient_training("resnet50", 1.0, 10, 5,
+                                        failure_at=[99])
+
+    def test_optimal_interval_monotone_in_mtbf(self):
+        stable = optimal_checkpoint_interval(0.25, 100_000, "resnet50")
+        flaky = optimal_checkpoint_interval(0.25, 1_000, "resnet50")
+        assert stable > flaky >= 1
+
+    def test_optimal_interval_validation(self):
+        with pytest.raises(TrainingError):
+            optimal_checkpoint_interval(0, 100, "resnet50")
+
+
+class TestAsyncDataParallel:
+    def test_zero_staleness_matches_sequential_sgd(self):
+        task = make_synthetic_task(num_samples=256, seed=0)
+        model = TinyMLP(16, 8, 4, seed=1)
+        trainer = StaleGradientTrainer(model, SGD(lr=0.1), num_workers=2,
+                                       staleness=0)
+        trainer.train(task, steps=5, batch_per_worker=16)
+
+        reference = TinyMLP(16, 8, 4, seed=1)
+        optimizer = SGD(lr=0.1)
+        cursor = 0
+        for _ in range(5):
+            for _worker in range(2):
+                lo = cursor % (256 - 16 + 1)
+                cursor += 16
+                _, grads = TinyMLP.loss_and_grads(
+                    reference.parameters, task.inputs[lo:lo + 16],
+                    task.labels[lo:lo + 16])
+                optimizer.step(reference.parameters, grads)
+        for name in reference.parameters:
+            np.testing.assert_allclose(trainer.parameters[name],
+                                       reference.parameters[name],
+                                       rtol=1e-12)
+
+    def test_stale_training_still_converges(self):
+        task = make_synthetic_task(num_samples=512, seed=2)
+        model = TinyMLP(16, 16, 4, seed=3)
+        trainer = StaleGradientTrainer(model, SGD(lr=0.1), num_workers=4,
+                                       staleness=4)
+        losses = trainer.train(task, steps=25, batch_per_worker=16)
+        assert losses[-1] < losses[0]
+
+    def test_higher_staleness_slower_convergence(self):
+        task = make_synthetic_task(num_samples=512, seed=4)
+
+        def final_loss(staleness):
+            model = TinyMLP(16, 16, 4, seed=5)
+            trainer = StaleGradientTrainer(
+                model, SGD(lr=0.3), num_workers=4, staleness=staleness)
+            return trainer.train(task, steps=15, batch_per_worker=16)[-1]
+
+        assert final_loss(8) > final_loss(0) * 0.9
+
+    def test_delay_line_drained(self):
+        task = make_synthetic_task(num_samples=128, seed=6)
+        model = TinyMLP(16, 8, 4, seed=7)
+        trainer = StaleGradientTrainer(model, SGD(lr=0.1), num_workers=2,
+                                       staleness=6)
+        trainer.train(task, steps=3, batch_per_worker=8)
+        # 3 steps x 2 workers = 6 gradients, all must be applied.
+        assert trainer.optimizer.steps == 6
+
+    def test_timing_model(self):
+        sync = 1.0
+        exposed = 0.4
+        assert async_iteration_time_s(sync, exposed, 0) == sync
+        one = async_iteration_time_s(sync, exposed, 1)
+        many = async_iteration_time_s(sync, exposed, 10)
+        assert one == pytest.approx(0.8)
+        assert many == pytest.approx(0.6, abs=1e-3)
+        assert many < one < sync
+
+    def test_timing_validation(self):
+        with pytest.raises(TrainingError):
+            async_iteration_time_s(1.0, 2.0, 1)
+        with pytest.raises(TrainingError):
+            async_iteration_time_s(0.0, 0.0, 1)
+
+    def test_validation(self):
+        model = TinyMLP(16, 8, 4)
+        with pytest.raises(TrainingError):
+            StaleGradientTrainer(model, SGD(lr=0.1), num_workers=0)
+        with pytest.raises(TrainingError):
+            StaleGradientTrainer(model, SGD(lr=0.1), num_workers=2,
+                                 staleness=-1)
