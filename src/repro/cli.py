@@ -12,6 +12,9 @@ Commands
     Run the Section VI auto-tuner on a deployment.
 ``translate``
     Port a Horovod or sequential training script to the Perseus API.
+``faults``
+    Inject node crashes into a simulated run and report the measured
+    recovery trajectory (detection latency, rebuild time, goodput).
 """
 
 from __future__ import annotations
@@ -70,6 +73,31 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--workers", type=int, default=8)
     translate.add_argument("--output", type=pathlib.Path, default=None,
                            help="write here instead of stdout")
+
+    faults = sub.add_parser(
+        "faults", help="fault-injected training with self-healing recovery")
+    faults.add_argument("--model", default="resnet50")
+    faults.add_argument("--gpus", type=int, default=16)
+    faults.add_argument("--iterations", type=int, default=20)
+    faults.add_argument("--checkpoint-interval", type=int, default=5)
+    faults.add_argument("--crash-node", type=int, action="append",
+                        default=None,
+                        help="node index to crash (repeatable; "
+                        "default: node 1)")
+    faults.add_argument("--crash-at", type=float, action="append",
+                        default=None,
+                        help="injection time in simulated seconds for the "
+                        "matching --crash-node (default: 25%% of the run)")
+    faults.add_argument("--mtbf", type=float, default=None,
+                        help="draw a Poisson crash schedule with this mean "
+                        "time between failures instead of --crash-node")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="random seed for the --mtbf schedule")
+    faults.add_argument("--sync-timeout", type=float, default=1.0)
+    faults.add_argument("--unit-timeout", type=float, default=2.0)
+    faults.add_argument("--retries", type=int, default=1)
+    faults.add_argument("--trace-out", type=pathlib.Path, default=None,
+                        help="write a Chrome trace JSON of the run")
 
     return parser
 
@@ -210,6 +238,95 @@ def cmd_translate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import TrainingError
+    from repro.sim.faults import FaultPlan, NodeCrash
+    from repro.training.resilience import (
+        run_fault_injected_training,
+        simulate_resilient_training,
+    )
+    from repro.training.trainer import run_training
+
+    num_nodes = args.gpus // 8
+    if args.gpus % 8 != 0 or num_nodes < 2:
+        raise TrainingError("--gpus must be a multiple of 8 and >= 16")
+
+    # A quick healthy measurement fixes the iteration time, which anchors
+    # both the default crash schedule and the analytical comparison.
+    baseline = run_training(args.model, "aiacc", args.gpus,
+                            measure_iterations=2, warmup_iterations=1)
+    iter_s = baseline.mean_iteration_s
+    horizon = args.iterations * iter_s
+
+    if args.mtbf is not None:
+        drawn = FaultPlan.poisson(args.mtbf, horizon, num_nodes,
+                                  seed=args.seed)
+        crashes = [f for f in drawn
+                   if isinstance(f, NodeCrash)][:num_nodes - 1]
+        plan = FaultPlan(crashes)
+    else:
+        nodes = args.crash_node if args.crash_node is not None else [1]
+        if args.crash_at is not None:
+            if len(args.crash_at) != len(nodes):
+                raise TrainingError(
+                    "--crash-at must be given once per --crash-node")
+            times = args.crash_at
+        else:
+            # Spread defaults over the run, starting a quarter in.
+            times = [horizon * (0.25 + 0.5 * i / max(1, len(nodes)))
+                     for i in range(len(nodes))]
+        plan = FaultPlan([NodeCrash(at_s=when, node=node)
+                          for node, when in zip(nodes, times)])
+
+    result = run_fault_injected_training(
+        args.model, plan, num_gpus=args.gpus,
+        total_iterations=args.iterations,
+        checkpoint_interval=args.checkpoint_interval,
+        sync_timeout_s=args.sync_timeout,
+        unit_timeout_s=args.unit_timeout,
+        comm_retries=args.retries,
+    )
+
+    print(f"model:               {result.model}")
+    print(f"workers:             {result.initial_num_gpus} -> "
+          f"{result.final_num_gpus} GPUs")
+    print(f"iterations:          {result.total_iterations} "
+          f"(+{result.wasted_iterations} lost to failures)")
+    print(f"injected crashes:    {plan.crash_count}")
+    print(f"total time:          {result.total_time_s:.1f} s simulated")
+    print(f"goodput:             {result.goodput:.3f}")
+    for index, rec in enumerate(result.recoveries):
+        print(f"recovery {index}:          node(s) {list(rec.failed_nodes)} "
+              f"died at t={rec.injected_at_s:.1f}s; detected in "
+              f"{rec.detection_latency_s:.2f}s; rebuilt in "
+              f"{rec.rebuild_time_s:.1f}s; lost {rec.lost_iterations} "
+              f"iteration(s)")
+
+    failure_at = sorted({min(int(rec.injected_at_s // iter_s),
+                             args.iterations - 1)
+                         for rec in result.recoveries})
+    if failure_at:
+        analytical = simulate_resilient_training(
+            args.model, iter_s, args.iterations, args.checkpoint_interval,
+            failure_at=failure_at)
+        print(f"analytical goodput:  {analytical.goodput:.3f} "
+              f"(simulate_resilient_training)")
+
+    fault_counters = {name: value
+                      for name, value in sorted(result.trace.counters.items())
+                      if name.startswith("aiacc.faults.")}
+    for name, value in fault_counters.items():
+        print(f"{name}: {value:g}")
+
+    if args.trace_out is not None:
+        args.trace_out.write_text(
+            json.dumps(result.trace.to_chrome_trace()))
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
 def main(argv: t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -219,6 +336,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "bench": cmd_bench,
         "tune": cmd_tune,
         "translate": cmd_translate,
+        "faults": cmd_faults,
     }
     try:
         return handlers[args.command](args)

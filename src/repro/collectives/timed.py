@@ -67,6 +67,20 @@ class TimedCollectives:
 
     # -- public API -------------------------------------------------------
 
+    def _stalled(self, name: str) -> Event | None:
+        """A never-firing event when a participating node is dead.
+
+        Real NCCL collectives do not error when a ring member dies —
+        they hang until an external watchdog fires.  Modelling that
+        honestly (instead of raising) is what gives the engine's
+        timeout-based failure detector something real to detect.
+        Returns ``None`` when every node is alive.
+        """
+        if not self.cluster.failed_nodes:
+            return None
+        self.trace.incr("aiacc.faults.stalled_collectives")
+        return self.sim.event(name=f"{name}.stalled")
+
     def allreduce(self, size_bytes: float, algorithm: str = "ring",
                   cap_scale: float = 1.0) -> Event:
         """Start a timed all-reduce of ``size_bytes`` across all workers.
@@ -96,6 +110,9 @@ class TimedCollectives:
             raise CollectiveError("size_bytes must be non-negative")
         if not 0 < cap_scale <= 1:
             raise CollectiveError("cap_scale must be in (0, 1]")
+        stalled = self._stalled(f"allreduce.{algorithm}")
+        if stalled is not None:
+            return stalled
         start = self.sim.now
         if algorithm == "ring":
             inner = self._ring(size_bytes, cap_scale)
@@ -122,6 +139,9 @@ class TimedCollectives:
         among the MPI daemons (paper Fig. 8b).  The payload is tiny, so the
         cost is pure latency: ``2 (m - 1)`` inter-node hops.
         """
+        stalled = self._stalled("control_roundtrip")
+        if stalled is not None:
+            return stalled
         m = self.cluster.num_nodes
         spec = self.cluster.spec
         if m == 1:
@@ -137,6 +157,9 @@ class TimedCollectives:
 
     def broadcast(self, size_bytes: float) -> Event:
         """Timed pipelined broadcast from rank 0 to all workers."""
+        stalled = self._stalled("broadcast")
+        if stalled is not None:
+            return stalled
         m = self.cluster.num_nodes
         if m == 1:
             flow = self.network.start_flow(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import typing as t
 
-from repro.errors import TrainingError
+from repro.errors import PeerDeadError, ProcessInterrupt, TrainingError
 from repro.core.packing import GradientPacker, unpack
 from repro.core.registration import GradientRegistry
 from repro.core.runtime import AIACCConfig
@@ -53,6 +53,9 @@ class AIACCBackend(DDLBackend):
         self._pool: CommStreamPool | None = None
         self._registry: GradientRegistry | None = None
         self._daemon: Resource | None = None
+        #: Processes this iteration spawned that are still running;
+        #: :meth:`abort` interrupts them on a confirmed peer death.
+        self._inflight: set[Process] = set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -73,7 +76,26 @@ class AIACCBackend(DDLBackend):
         # The per-GPU MPI daemon is single-threaded: synchronization
         # relays and unit launches serialize through it (paper Fig. 4).
         self._daemon = Resource(ctx.sim, 1, name="mpi-daemon")
+        self._inflight.clear()
         yield self._pool.setup()
+
+    def abort(self, cause: object = None) -> int:
+        """Interrupt every in-flight dispatch/unit process.
+
+        Called by the recovery driver after a confirmed peer death: units
+        talking to the dead node would otherwise hold stream slots
+        forever.  Returns the number of processes interrupted.
+        """
+        victims, self._inflight = list(self._inflight), set()
+        interrupted = 0
+        for victim in victims:
+            if victim.can_interrupt:
+                # A no-op watcher so the interrupt is recorded as a
+                # failed event instead of surfacing out of sim.step().
+                victim.add_callback(lambda _ev: None)
+                victim.interrupt(cause)
+                interrupted += 1
+        return interrupted
 
     # -- iteration -----------------------------------------------------------
 
@@ -110,17 +132,17 @@ class AIACCBackend(DDLBackend):
             batch_bytes += size
             ctx.trace.incr("aiacc.gradients")
             if batch_bytes >= self.config.granularity_bytes:
-                dispatch_processes.append(ctx.sim.spawn(
+                dispatch_processes.append(self._track(ctx.sim.spawn(
                     self._dispatch(ctx, packer, batch, unit_processes),
-                    name="aiacc.dispatch"))
+                    name="aiacc.dispatch")))
                 batch = []
                 batch_bytes = 0.0
 
         pool.compute_finished()
         if batch:
-            dispatch_processes.append(ctx.sim.spawn(
+            dispatch_processes.append(self._track(ctx.sim.spawn(
                 self._dispatch(ctx, packer, batch, unit_processes),
-                name="aiacc.dispatch"))
+                name="aiacc.dispatch")))
 
         # All dispatches must finish creating units before the barrier on
         # the units themselves is complete.
@@ -136,6 +158,54 @@ class AIACCBackend(DDLBackend):
         )
 
     # -- internals -------------------------------------------------------------
+
+    def _track(self, process: Process) -> Process:
+        """Register a spawned process for :meth:`abort`.
+
+        The tracking callback doubles as a watcher, so a failing tracked
+        process records its exception (surfaced via the iteration
+        barriers) rather than hard-raising out of the simulator.
+        """
+        self._inflight.add(process)
+        process.add_callback(lambda _ev: self._inflight.discard(process))
+        return process
+
+    def _retrying(self, ctx: TrainContext,
+                  launch: t.Callable[[], t.Any], phase: str,
+                  timeout_s: float,
+                  abandon: t.Callable[[t.Any], None] | None = None,
+                  ) -> t.Generator:
+        """Race ``launch()`` against a deadline, with bounded retries.
+
+        The paper's failure detector: a missed deadline raises
+        *suspicion*; only after ``comm_retries`` further attempts — each
+        preceded by exponential backoff and given a doubled deadline —
+        is the peer *confirmed* dead (:class:`PeerDeadError`).  The
+        optional ``abandon`` callback tears down a timed-out attempt
+        (e.g. interrupts a hung unit so it frees its streams).
+        """
+        deadline = timeout_s
+        suspected_at: float | None = None
+        for attempt in range(self.config.comm_retries + 1):
+            pending = launch()
+            index, value = yield ctx.sim.any_of(
+                [pending, ctx.sim.timeout(deadline)])
+            if index == 0:
+                return value
+            if suspected_at is None:
+                suspected_at = ctx.sim.now
+                ctx.trace.fault("suspect", ctx.sim.now, phase=phase)
+            ctx.trace.incr(f"aiacc.faults.{phase}_timeout")
+            if abandon is not None:
+                abandon(pending)
+            if attempt < self.config.comm_retries:
+                yield ctx.sim.timeout(
+                    self.config.retry_backoff_s * (2 ** attempt))
+                deadline *= 2
+        ctx.trace.fault("confirm", ctx.sim.now, phase=phase)
+        raise PeerDeadError(phase=phase,
+                            suspected_at_s=t.cast(float, suspected_at),
+                            confirmed_at_s=ctx.sim.now)
 
     def _dispatch(self, ctx: TrainContext, packer: GradientPacker,
                   batch: list[tuple[int, float]],
@@ -157,17 +227,33 @@ class AIACCBackend(DDLBackend):
         relay_cost = 2 * max(ctx.cluster.num_nodes - 1, 1) * \
             spec.transport.per_message_overhead_s
         service = relay_cost + len(units) * self.UNIT_DISPATCH_OVERHEAD_S
-        yield daemon.acquire()
+        request = daemon.acquire()
+        try:
+            yield request
+        except ProcessInterrupt:
+            # Abort while queued: withdraw the request so the grant is
+            # not handed to a dead process.
+            if not daemon.cancel(request):
+                daemon.release()
+            raise
         try:
             yield ctx.sim.timeout(service)
         finally:
             daemon.release()
 
-        # Network round-trip of the decentralized min all-reduce.
-        yield ctx.collectives.control_roundtrip(
-            payload_bytes=max(1.0, len(t.cast(GradientRegistry,
-                                              self._registry).sync_vector)
-                              / 8.0))
+        # Network round-trip of the decentralized min all-reduce.  With a
+        # sync deadline configured, this is the paper's master-free
+        # failure detector: a missed round means suspicion.
+        payload = max(1.0, len(t.cast(GradientRegistry,
+                                      self._registry).sync_vector) / 8.0)
+        if self.config.sync_timeout_s is None:
+            yield ctx.collectives.control_roundtrip(payload_bytes=payload)
+        else:
+            yield from self._retrying(
+                ctx,
+                lambda: ctx.collectives.control_roundtrip(
+                    payload_bytes=payload),
+                phase="sync", timeout_s=self.config.sync_timeout_s)
         ctx.trace.incr("aiacc.sync_rounds")
         ctx.trace.incr("aiacc.units", len(units))
 
@@ -187,11 +273,28 @@ class AIACCBackend(DDLBackend):
                 staging = ctx.staging_time_s(nbytes)
                 if staging:
                     yield ctx.sim.timeout(staging)
-                result = yield ctx.sim.spawn(
-                    pool.run_unit(do_work, streams=streams_per_unit))
+                if self.config.unit_timeout_s is None:
+                    result = yield ctx.sim.spawn(
+                        pool.run_unit(do_work, streams=streams_per_unit))
+                    return result
+
+                def launch() -> Process:
+                    return self._track(ctx.sim.spawn(
+                        pool.run_unit(do_work, streams=streams_per_unit)))
+
+                def abandon(runner: Process) -> None:
+                    # Free the hung attempt's streams before retrying.
+                    if runner.can_interrupt:
+                        runner.add_callback(lambda _ev: None)
+                        runner.interrupt("unit timeout")
+
+                result = yield from self._retrying(
+                    ctx, launch, phase="unit",
+                    timeout_s=t.cast(float, self.config.unit_timeout_s),
+                    abandon=abandon)
                 return result
 
-            unit_processes.append(ctx.sim.spawn(
-                unit_process(), name=f"aiacc.unit{unit.unit_id}"))
+            unit_processes.append(self._track(ctx.sim.spawn(
+                unit_process(), name=f"aiacc.unit{unit.unit_id}")))
         # Account for the unpack/regroup callback bookkeeping.
         unpack(units)

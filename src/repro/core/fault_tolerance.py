@@ -36,6 +36,14 @@ class CheckpointManager:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep_last = keep_last
+        #: Checkpoint files :meth:`load` skipped because they were
+        #: corrupt, newest first.
+        self.skipped: list[pathlib.Path] = []
+        # Sweep temp files left by a writer that crashed mid-save; they
+        # are partial by definition and must never shadow a real
+        # checkpoint.
+        for stale in self.directory.glob(".tmp-ckpt-*.npz"):
+            stale.unlink()
 
     # -- save ------------------------------------------------------------------
 
@@ -46,7 +54,10 @@ class CheckpointManager:
         if iteration < 0:
             raise CheckpointError("iteration must be >= 0")
         path = self.directory / f"ckpt-{iteration:010d}.npz"
-        tmp = path.with_suffix(".tmp.npz")
+        # The temp name must NOT match the ckpt-*.npz glob: a writer
+        # crashing between the write and the rename would otherwise
+        # leave a partial file that latest() happily returns.
+        tmp = self.directory / f".tmp-{path.name}"
         payload: dict[str, np.ndarray] = {
             f"param/{k}": np.asarray(v) for k, v in parameters.items()}
         for key, value in (optimizer_state or {}).items():
@@ -69,12 +80,35 @@ class CheckpointManager:
 
     def load(self, path: pathlib.Path | None = None
              ) -> tuple[int, State, State, dict]:
-        """Restore (iteration, parameters, optimizer_state, metadata)."""
-        target = path or self.latest()
-        if target is None:
+        """Restore (iteration, parameters, optimizer_state, metadata).
+
+        Without an explicit ``path``, tries checkpoints newest-first and
+        falls back past corrupt files (recording them in
+        :attr:`skipped`): recovery restarting from a checkpoint that was
+        being overwritten when the node died must not be stranded by the
+        newest file being garbage.
+        """
+        if path is not None:
+            return self._load_one(path)
+        candidates = sorted(self.directory.glob("ckpt-*.npz"), reverse=True)
+        if not candidates:
             raise CheckpointError(
                 f"no checkpoint found in {self.directory}"
             )
+        failures: list[str] = []
+        for target in candidates:
+            try:
+                return self._load_one(target)
+            except CheckpointError as exc:
+                self.skipped.append(target)
+                failures.append(str(exc))
+        raise CheckpointError(
+            f"all {len(candidates)} checkpoints in {self.directory} are "
+            f"corrupt: {'; '.join(failures)}"
+        )
+
+    def _load_one(self, target: pathlib.Path
+                  ) -> tuple[int, State, State, dict]:
         try:
             with np.load(target) as data:
                 parameters: State = {}
@@ -103,11 +137,16 @@ class ElasticCoordinator:
     """Tracks the live worker set and handles joins/failures."""
 
     def __init__(self, checkpoints: CheckpointManager,
-                 initial_workers: int) -> None:
+                 initial_workers: int,
+                 init_parameters: t.Callable[[], State] | None = None
+                 ) -> None:
         if initial_workers < 1:
             raise CheckpointError("need at least one worker")
         self.checkpoints = checkpoints
         self.live_workers = initial_workers
+        #: Factory for fresh parameters, used when a failure arrives
+        #: before the first checkpoint was ever written (cold start).
+        self.init_parameters = init_parameters
         self.restarts = 0
         self.joins = 0
 
@@ -117,6 +156,11 @@ class ElasticCoordinator:
         Returns ``(iteration, parameters)`` to resume from.  The failed
         workers' in-flight iteration is lost — exactly the paper's
         "restart the training process from the last checkpoint".
+
+        Cold start: a failure that lands before the first checkpoint was
+        written restarts from iteration 0 with freshly initialized
+        parameters (via ``init_parameters``, or empty state) instead of
+        raising mid-recovery.
         """
         if not 0 < failed_workers < self.live_workers:
             raise CheckpointError(
@@ -124,6 +168,9 @@ class ElasticCoordinator:
             )
         self.live_workers -= failed_workers
         self.restarts += 1
+        if self.checkpoints.latest() is None:
+            fresh = self.init_parameters() if self.init_parameters else {}
+            return 0, fresh
         iteration, parameters, _, _ = self.checkpoints.load()
         return iteration, parameters
 

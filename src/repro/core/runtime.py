@@ -41,6 +41,17 @@ class AIACCConfig:
     autotune: bool = False
     #: Iteration budget of the auto-tuning warm-up phase (paper: n = 100).
     autotune_budget: int = 100
+    #: Deadline for the decentralized readiness sync round; a rank that
+    #: misses it suspects a peer failure (paper §IV fault tolerance).
+    #: ``None`` disables detection (the healthy-path default).
+    sync_timeout_s: float | None = None
+    #: Per-all-reduce-unit deadline before the unit is retried.
+    unit_timeout_s: float | None = None
+    #: Bounded retries after a timed-out collective before the peer is
+    #: declared dead.
+    comm_retries: int = 2
+    #: Base of the exponential backoff between retries.
+    retry_backoff_s: float = 0.5
 
     def __post_init__(self) -> None:
         if not MIN_STREAMS <= self.num_streams <= MAX_STREAMS:
@@ -60,6 +71,14 @@ class AIACCConfig:
             )
         if self.autotune_budget < 1:
             raise ReproError("autotune_budget must be >= 1")
+        if self.sync_timeout_s is not None and self.sync_timeout_s <= 0:
+            raise ReproError("sync_timeout_s must be positive when set")
+        if self.unit_timeout_s is not None and self.unit_timeout_s <= 0:
+            raise ReproError("unit_timeout_s must be positive when set")
+        if self.comm_retries < 0:
+            raise ReproError("comm_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ReproError("retry_backoff_s must be >= 0")
 
     @property
     def wire_dtype_bytes(self) -> int:

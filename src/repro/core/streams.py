@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import typing as t
 
-from repro.errors import ReproError
+from repro.errors import ProcessInterrupt, ReproError
 from repro.sim.cuda import GPUDevice
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -92,8 +92,18 @@ class CommStreamPool:
         ``streams`` > 1 models collectives that occupy several CUDA
         streams at once — the hierarchical all-reduce runs ``g`` parallel
         inter-node rings, one stream each (paper §V-B).
+
+        Interrupt-safe: an abort while queued withdraws the acquire
+        request (no leaked grant to a dead process); an abort while
+        running releases the held streams.
         """
-        yield self.acquire(streams)
+        request = self.acquire(streams)
+        try:
+            yield request
+        except ProcessInterrupt:
+            if not self._resource.cancel(request):
+                self.release(streams)
+            raise
         try:
             yield work()
         finally:

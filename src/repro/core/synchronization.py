@@ -23,7 +23,7 @@ import typing as t
 
 import numpy as np
 
-from repro.errors import SynchronizationError
+from repro.errors import SynchronizationError, SyncTimeoutError
 from repro.collectives.primitives import ReduceOp
 from repro.collectives.ring import ring_allreduce_worker
 from repro.core.registration import GradientRegistry
@@ -50,19 +50,34 @@ class DecentralizedSynchronizer:
         self.registry = registry
         self._round = 0
 
-    def sync_round(self) -> t.Generator:
+    def sync_round(self, timeout_s: float | None = None) -> t.Generator:
         """Simulated-process generator for one synchronization round.
 
         All workers must enter the same round number.  Returns the array
         of gradient ids that are ready on **every** worker.
+
+        With ``timeout_s`` set, the round races a deadline: the design is
+        master-free (no central health tracker, paper §IV), so a rank
+        whose ring pass does not complete in time can only *suspect* a
+        peer failure — it raises :class:`SyncTimeoutError` and leaves
+        confirmation to the caller's retry policy.
         """
-        tag_base = _SYNC_TAG_BASE + self._round * _SYNC_TAG_STRIDE
+        round_index = self._round
+        tag_base = _SYNC_TAG_BASE + round_index * _SYNC_TAG_STRIDE
         self._round += 1
         local = self.registry.sync_vector.copy()
-        reduced = yield self.sim.spawn(ring_allreduce_worker(
+        worker = self.sim.spawn(ring_allreduce_worker(
             self.sim, self.comm, self.rank, local,
             op=ReduceOp.MIN, tag_base=tag_base),
             name=f"sync.r{self.rank}")
+        if timeout_s is None:
+            reduced = yield worker
+        else:
+            index, value = yield self.sim.any_of(
+                [worker, self.sim.timeout(timeout_s)])
+            if index != 0:
+                raise SyncTimeoutError(self.rank, round_index, timeout_s)
+            reduced = value
         mask = t.cast(np.ndarray, reduced)
         if mask.shape != local.shape:
             raise SynchronizationError("sync vector shape changed mid-round")

@@ -28,6 +28,32 @@ class ProcessInterrupt(ReproError):
         self.cause = cause
 
 
+class FaultInjectionError(ReproError):
+    """A fault-injection plan was invalid or could not be delivered."""
+
+
+class PeerDeadError(ReproError):
+    """A communication peer was declared dead by the failure detector.
+
+    Raised by the AIACC engine after a collective misses its deadline and
+    every bounded retry (with exponential backoff) also times out — the
+    paper's §IV fault-tolerance path.  Carries the detection timeline so
+    recovery drivers can report detection latency.
+    """
+
+    def __init__(self, phase: str, suspected_at_s: float,
+                 confirmed_at_s: float, cause: object = None) -> None:
+        super().__init__(
+            f"peer declared dead during {phase!r} "
+            f"(suspected at t={suspected_at_s:.3f}s, "
+            f"confirmed at t={confirmed_at_s:.3f}s)"
+        )
+        self.phase = phase
+        self.suspected_at_s = suspected_at_s
+        self.confirmed_at_s = confirmed_at_s
+        self.cause = cause
+
+
 class NetworkError(ReproError):
     """Invalid network configuration or flow state."""
 
@@ -46,6 +72,25 @@ class RegistrationError(ReproError):
 
 class SynchronizationError(ReproError):
     """Gradient synchronization reached an inconsistent state."""
+
+
+class SyncTimeoutError(SynchronizationError):
+    """A decentralized synchronization round missed its deadline.
+
+    The min-allreduce ring is master-free, so there is no central health
+    tracker: a rank whose round does not complete within the deadline can
+    only *suspect* that some peer died (it cannot yet name the culprit).
+    """
+
+    def __init__(self, rank: int, round_index: int,
+                 deadline_s: float) -> None:
+        super().__init__(
+            f"rank {rank} sync round {round_index} missed its "
+            f"{deadline_s:g}s deadline; suspecting a peer failure"
+        )
+        self.rank = rank
+        self.round_index = round_index
+        self.deadline_s = deadline_s
 
 
 class PackingError(ReproError):

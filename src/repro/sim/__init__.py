@@ -18,6 +18,14 @@ V100 nodes, 30 Gbps VPC TCP / RDMA) with a deterministic simulator:
 
 from repro.sim.cuda import A100, GPUDevice, GPUSpec, V100
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.faults import (
+    BandwidthDegradation,
+    FaultInjector,
+    FaultPlan,
+    LinkFlap,
+    NodeCrash,
+    Straggler,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.mpi import Communicator
 from repro.sim.network import Flow, FluidNetwork, Link
@@ -33,14 +41,19 @@ __all__ = [
     "A100",
     "AllOf",
     "AnyOf",
+    "BandwidthDegradation",
     "Cluster",
     "Communicator",
     "Event",
+    "FaultInjector",
+    "FaultPlan",
     "Flow",
     "FluidNetwork",
     "GPUDevice",
     "GPUSpec",
     "Link",
+    "LinkFlap",
+    "NodeCrash",
     "NodeSpec",
     "PriorityStore",
     "Process",
@@ -49,6 +62,7 @@ __all__ = [
     "Simulator",
     "Span",
     "Store",
+    "Straggler",
     "TCP",
     "Timeout",
     "Trace",

@@ -1,0 +1,366 @@
+"""Event-driven fault injection for the simulated AIACC runtime.
+
+The paper sells AIACC-Training as a production library whose fault
+tolerance, elastic deployment and restart-from-checkpoint support are
+first-class features (§IV).  This module injects the failures those
+features exist to survive, *inside* the discrete-event simulator rather
+than as closed-form time corrections:
+
+:class:`NodeCrash`
+    A node dies at a simulated instant.  Its NIC and NVLink capacities
+    collapse (in-flight flows stall), the cluster marks it failed (new
+    collectives never complete), and any registered victim processes
+    receive :class:`~repro.errors.ProcessInterrupt`.
+:class:`LinkFlap`
+    A node's NIC goes down for a bounded window, then recovers.
+:class:`BandwidthDegradation`
+    A node's NIC runs at a fraction of capacity for a window —
+    the bursty cross-tenant traffic of §VII, but time-varying.
+:class:`Straggler`
+    A node's NIC slows by a factor for a window, modelling the
+    slow-worker effect that motivates event-level (not average-rate)
+    failure modelling in the S-SGD DAG literature.
+
+A :class:`FaultPlan` is an immutable, time-sorted schedule of faults;
+a :class:`FaultInjector` arms the plan against a live simulator/cluster/
+network triple and survives communicator rebuilds via :meth:`retarget`.
+
+Faults are *delivered through the event queue* (`Simulator.interrupt`),
+so injection is deterministic and ordered with all other simulation
+activity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as t
+
+from repro.errors import FaultInjectionError
+from repro.sim.kernel import Simulator
+from repro.sim.network import FluidNetwork, Link
+from repro.sim.process import Process
+from repro.sim.topology import Cluster
+from repro.sim.tracing import Trace
+
+#: Capacity a dead node's links are squashed to.  The fluid network
+#: requires strictly positive capacities; at 1e-3 bit/s any in-flight
+#: flow's remaining transfer takes geological time, which is how a dead
+#: NIC looks to its peers: the connection does not error, it stalls.
+DEAD_LINK_BPS = 1e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """Base class for scheduled faults.
+
+    ``at_s`` is the absolute simulated injection time; ``node`` is the
+    index of the victim node *in the original cluster* (the injector
+    keeps the mapping to post-rebuild indices).
+    """
+
+    at_s: float
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise FaultInjectionError(
+                f"fault time must be >= 0, got {self.at_s}"
+            )
+        if self.node < 0:
+            raise FaultInjectionError(
+                f"fault node must be >= 0, got {self.node}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCrash(Fault):
+    """The node dies permanently at ``at_s``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkFlap(Fault):
+    """The node's NIC goes down at ``at_s`` and recovers after ``down_s``."""
+
+    down_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.down_s <= 0:
+            raise FaultInjectionError("down_s must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthDegradation(Fault):
+    """The node's NIC runs at ``fraction`` of capacity for ``duration_s``."""
+
+    fraction: float = 0.5
+    duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.fraction < 1:
+            raise FaultInjectionError("fraction must be in (0, 1)")
+        if self.duration_s <= 0:
+            raise FaultInjectionError("duration_s must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Straggler(Fault):
+    """The node's NIC slows by ``slowdown``x for ``duration_s`` seconds."""
+
+    slowdown: float = 4.0
+    duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.slowdown <= 1:
+            raise FaultInjectionError("slowdown must be > 1")
+        if self.duration_s <= 0:
+            raise FaultInjectionError("duration_s must be positive")
+
+
+class FaultPlan:
+    """An immutable, time-ordered schedule of faults."""
+
+    def __init__(self, faults: t.Iterable[Fault]) -> None:
+        self.faults: tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda f: (f.at_s, f.node))
+        )
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise FaultInjectionError(
+                    f"plan entries must be Fault instances, got {fault!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> t.Iterator[Fault]:
+        return iter(self.faults)
+
+    def validate_for(self, cluster: Cluster) -> None:
+        """Check every fault targets a node that exists in ``cluster``."""
+        for fault in self.faults:
+            if fault.node >= cluster.num_nodes:
+                raise FaultInjectionError(
+                    f"{type(fault).__name__} targets node {fault.node} but "
+                    f"the cluster has only {cluster.num_nodes} nodes"
+                )
+
+    @property
+    def crash_count(self) -> int:
+        """Number of permanent node crashes in the plan."""
+        return sum(1 for f in self.faults if isinstance(f, NodeCrash))
+
+    @classmethod
+    def poisson(cls, mtbf_s: float, horizon_s: float, num_nodes: int,
+                seed: int = 0, kinds: t.Sequence[type] = (NodeCrash,),
+                ) -> "FaultPlan":
+        """Draw a fault schedule from a Poisson process.
+
+        Inter-arrival times are exponential with mean ``mtbf_s``; each
+        arrival picks a uniform victim node and a uniform fault kind
+        from ``kinds``.  Crashes never target an already-crashed node
+        (the schedule is over distinct victims), so a plan can be
+        checked against the cluster size up front.
+        """
+        if mtbf_s <= 0:
+            raise FaultInjectionError("mtbf_s must be positive")
+        if horizon_s <= 0:
+            raise FaultInjectionError("horizon_s must be positive")
+        if num_nodes < 1:
+            raise FaultInjectionError("num_nodes must be >= 1")
+        rng = random.Random(seed)
+        faults: list[Fault] = []
+        crashed: set[int] = set()
+        clock = 0.0
+        while True:
+            clock += rng.expovariate(1.0 / mtbf_s)
+            if clock >= horizon_s:
+                break
+            candidates = [n for n in range(num_nodes) if n not in crashed]
+            if not candidates:
+                break
+            node = rng.choice(candidates)
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind is NodeCrash:
+                crashed.add(node)
+                faults.append(NodeCrash(at_s=clock, node=node))
+            elif kind is LinkFlap:
+                faults.append(LinkFlap(at_s=clock, node=node,
+                                       down_s=rng.uniform(0.2, 2.0)))
+            elif kind is BandwidthDegradation:
+                faults.append(BandwidthDegradation(
+                    at_s=clock, node=node,
+                    fraction=rng.uniform(0.2, 0.8),
+                    duration_s=rng.uniform(0.5, 5.0)))
+            elif kind is Straggler:
+                faults.append(Straggler(at_s=clock, node=node,
+                                        slowdown=rng.uniform(2.0, 8.0),
+                                        duration_s=rng.uniform(0.5, 5.0)))
+            else:
+                raise FaultInjectionError(f"unknown fault kind {kind!r}")
+        return cls(faults)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a live simulation.
+
+    The injector owns the mapping from *original* node indices (the
+    coordinates the plan is written in) to indices in the *current*
+    cluster, which shrinks as crashed nodes are excised by elastic
+    rebuilds.  After each rebuild the driver calls :meth:`retarget` with
+    the new cluster/network; pending faults whose victim has already
+    crashed become no-ops.
+    """
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 network: FluidNetwork, trace: Trace | None = None) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.network = network
+        self.trace = trace or Trace(enabled=False)
+        #: Original node ids of the nodes present in the current cluster,
+        #: in cluster order: ``_current[i]`` is the original identity of
+        #: current node ``i``.
+        self._current: list[int] = list(range(cluster.num_nodes))
+        #: Original ids of permanently crashed nodes.
+        self._crashed: set[int] = set()
+        #: Crashes not yet consumed by the recovery driver
+        #: (:meth:`take_pending_dead`), in original-node coordinates.
+        self._pending_dead: list[int] = []
+        #: Injection time per crashed original node.
+        self.crash_times: dict[int, float] = {}
+        #: Processes to interrupt per original node id on crash.
+        self._victims: dict[int, list[Process]] = {}
+        #: Original capacities of links we have squashed, for restore.
+        self._saved_caps: dict[Link, float] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_victim(self, node: int, process: Process) -> None:
+        """Interrupt ``process`` (if interruptible) when ``node`` crashes."""
+        self._victims.setdefault(node, []).append(process)
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Schedule every fault in ``plan`` for delivery."""
+        plan.validate_for(self.cluster)
+        for fault in plan:
+            self.sim.spawn(self._deliver(fault),
+                           name=f"fault:{type(fault).__name__}@{fault.at_s:g}")
+
+    def retarget(self, cluster: Cluster, network: FluidNetwork) -> None:
+        """Point the injector at the post-rebuild cluster.
+
+        Must be called with *no intervening sim-time advancement* after
+        the new cluster is built, so no fault can land in between.  The
+        surviving original node ids, in order, become the new cluster's
+        node indices — the same survivor ordering the rebuild uses.
+        """
+        survivors = [n for n in self._current if n not in self._crashed]
+        if len(survivors) != cluster.num_nodes:
+            raise FaultInjectionError(
+                f"retarget: cluster has {cluster.num_nodes} nodes but "
+                f"{len(survivors)} original nodes survive"
+            )
+        self._current = survivors
+        self.cluster = cluster
+        self.network = network
+        self._saved_caps.clear()
+
+    def take_pending_dead(self) -> list[int]:
+        """Return-and-clear crashes not yet consumed by recovery.
+
+        Coordinates are original node ids; the recovery driver drains
+        this after catching :class:`~repro.errors.PeerDeadError` to
+        learn who actually died (possibly more than one node, if
+        crashes landed close together).
+        """
+        dead, self._pending_dead = self._pending_dead, []
+        return dead
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, fault: Fault) -> t.Generator:
+        delay = fault.at_s - self.sim.now
+        if delay < 0:
+            raise FaultInjectionError(
+                f"fault at t={fault.at_s:g}s scheduled after that time passed"
+            )
+        yield self.sim.timeout(delay)
+        self.apply(fault)
+
+    def apply(self, fault: Fault) -> None:
+        """Apply ``fault`` right now (normally called via :meth:`arm`)."""
+        if fault.node in self._crashed:
+            return  # victim already dead; nothing left to break
+        if fault.node not in self._current:
+            return  # defensive: unknown identity after a retarget
+        index = self._current.index(fault.node)
+        if isinstance(fault, NodeCrash):
+            self._apply_crash(fault, index)
+        elif isinstance(fault, LinkFlap):
+            self._apply_scaled(fault, index, scale=None,
+                               duration_s=fault.down_s, kind="link_flap")
+        elif isinstance(fault, BandwidthDegradation):
+            self._apply_scaled(fault, index, scale=fault.fraction,
+                               duration_s=fault.duration_s, kind="degrade")
+        elif isinstance(fault, Straggler):
+            self._apply_scaled(fault, index, scale=1.0 / fault.slowdown,
+                               duration_s=fault.duration_s, kind="straggler")
+        else:
+            raise FaultInjectionError(f"unknown fault {fault!r}")
+
+    def _node_links(self, index: int) -> list[Link]:
+        links = [self.cluster.nic_out[index], self.cluster.nic_in[index],
+                 self.cluster.nvlink[index]]
+        return links
+
+    def _apply_crash(self, fault: NodeCrash, index: int) -> None:
+        self._crashed.add(fault.node)
+        self._pending_dead.append(fault.node)
+        self.crash_times[fault.node] = self.sim.now
+        self.cluster.fail_node(index)
+        for link in self._node_links(index):
+            self._squash(link, DEAD_LINK_BPS)
+        for victim in self._victims.get(fault.node, ()):
+            if victim.can_interrupt:
+                # Ensure the interrupt cannot hard-raise as an unwatched
+                # process crash out of sim.step().
+                victim.add_callback(lambda _ev: None)
+                victim.interrupt(fault)
+        self.trace.fault("inject", self.sim.now, fault="node_crash",
+                         node=fault.node)
+
+    def _apply_scaled(self, fault: Fault, index: int, scale: float | None,
+                      duration_s: float, kind: str) -> None:
+        """Scale the node's NIC for a window, then restore.
+
+        ``scale=None`` means "down hard" (:data:`DEAD_LINK_BPS`).
+        """
+        nic_links = [self.cluster.nic_out[index], self.cluster.nic_in[index]]
+        original = fault.node
+        restore: list[tuple[Link, float]] = []
+        for link in nic_links:
+            before = self._saved_caps.get(link, link.capacity_bps)
+            restore.append((link, before))
+            target = DEAD_LINK_BPS if scale is None else before * scale
+            self._squash(link, target)
+        self.trace.fault("inject", self.sim.now, fault=kind, node=original)
+
+        def _recover() -> t.Generator:
+            yield self.sim.timeout(duration_s)
+            if original in self._crashed:
+                return  # node died during the window; stay squashed
+            for link, capacity in restore:
+                self.network.set_link_capacity(link, capacity)
+                self._saved_caps.pop(link, None)
+            self.trace.fault("recover", self.sim.now, fault=kind,
+                             node=original)
+
+        self.sim.spawn(_recover(), name=f"fault-recover:{kind}@{original}")
+
+    def _squash(self, link: Link, capacity_bps: float) -> None:
+        self._saved_caps.setdefault(link, link.capacity_bps)
+        self.network.set_link_capacity(link, capacity_bps)

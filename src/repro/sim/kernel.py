@@ -84,6 +84,30 @@ class Simulator:
 
         return Process(self, generator, name=name)
 
+    def interrupt(self, process: "Process", cause: object = None,
+                  delay: float = 0.0) -> Event:
+        """Deliver a :class:`ProcessInterrupt` through the event queue.
+
+        Unlike :meth:`Process.interrupt` (which throws synchronously and
+        errors on a finished process), delivery is scheduled like any
+        other event: after ``delay`` simulated seconds the victim is
+        interrupted *if it is still alive and interruptible* — otherwise
+        the delivery silently expires.  This is the API fault injectors
+        use: a simulated node crash must not blow up just because its
+        victim happened to finish first.
+
+        Returns the delivery event (value: ``cause``).
+        """
+        delivery = self.event(name=f"interrupt({process.name})")
+
+        def _deliver(_ev: Event) -> None:
+            if process.can_interrupt:
+                process.interrupt(cause)
+
+        delivery.add_callback(_deliver)
+        self._schedule_at(self.now + delay, delivery, cause)
+        return delivery
+
     # -- main loop -----------------------------------------------------------
 
     def step(self) -> None:

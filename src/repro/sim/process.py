@@ -50,6 +50,18 @@ class Process(Event):
         """Whether the process generator is still running."""
         return not self.triggered
 
+    @property
+    def can_interrupt(self) -> bool:
+        """Whether :meth:`interrupt` would succeed right now.
+
+        False for finished processes and for the (rare) alive-but-stuck
+        state left behind when an unwatched generator crashed and had its
+        exception surfaced instead of recorded.  Deferred interrupt
+        delivery (:meth:`Simulator.interrupt`) checks this so a crash
+        racing its victim's exit is a no-op instead of an error.
+        """
+        return not self.triggered and self._waiting_on is not None
+
     def interrupt(self, cause: object = None) -> None:
         """Throw :class:`ProcessInterrupt` into the process at its yield point.
 

@@ -92,6 +92,33 @@ class Resource:
         self.in_use -= count
         self._wake_waiters()
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending :meth:`acquire` request.
+
+        An interrupted process must not leave its acquire event queued:
+        the grant would otherwise go to a dead request and leak slots
+        forever.  Returns ``True`` when the request was still waiting
+        (nothing was ever held); ``False`` when it had already been
+        granted — the caller holds the slots and must :meth:`release`
+        them.  The usual interrupt-safe pattern::
+
+            request = resource.acquire()
+            try:
+                yield request
+            except ProcessInterrupt:
+                if not resource.cancel(request):
+                    resource.release()
+                raise
+        """
+        for index, (pending, _count) in enumerate(self._waiters):
+            if pending is event:
+                del self._waiters[index]
+                # Removing a large request at the head may unblock the
+                # smaller requests queued behind it.
+                self._wake_waiters()
+                return True
+        return False
+
     def _fits(self, count: int) -> bool:
         """Whether a request for ``count`` slots can be granted now.
 
@@ -163,6 +190,20 @@ class Store:
         if self._items:
             return True, self._items.popleft()
         return False, None
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending :meth:`get` request.
+
+        Returns ``True`` when the getter was still queued; ``False``
+        when an item was already dispatched to it (the caller owns that
+        item).  Interrupted consumers use this so a later :meth:`put`
+        does not hand an item to a dead process.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
 
 
 class PriorityStore:

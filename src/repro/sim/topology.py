@@ -116,6 +116,33 @@ class Cluster:
             for node in range(num_nodes)
         ]
         self.gpu_device = GPUDevice(self.spec.gpu)
+        #: Nodes declared dead by a fault injector.  Collectives consult
+        #: this set: any collective whose participant set intersects it
+        #: stalls forever (like a real NCCL ring with a dead member) and
+        #: must be caught by the engine's failure detector.
+        self.failed_nodes: set[int] = set()
+
+    # -- failure bookkeeping ---------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Mark ``node`` as crashed.  Idempotent."""
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node {node} out of range")
+        self.failed_nodes.add(node)
+
+    def restore_node(self, node: int) -> None:
+        """Clear a node's crashed flag (it rejoined after elastic rebuild)."""
+        self.failed_nodes.discard(node)
+
+    @property
+    def alive_nodes(self) -> list[int]:
+        """Indices of nodes not currently marked failed."""
+        return [n for n in range(self.num_nodes) if n not in self.failed_nodes]
+
+    @property
+    def alive_world_size(self) -> int:
+        """GPU workers on surviving nodes."""
+        return len(self.alive_nodes) * self.spec.gpus_per_node
 
     # -- rank arithmetic -----------------------------------------------------
 

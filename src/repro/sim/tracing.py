@@ -61,6 +61,17 @@ class Trace:
         if self.enabled and self.keep_spans:
             self.points.append((name, time, dict(meta)))
 
+    def fault(self, kind: str, time: float, **meta: object) -> None:
+        """Record a fault-lifecycle event (inject/suspect/confirm/...).
+
+        Bumps the ``aiacc.faults.<kind>`` counter (always, so headless
+        runs can assert on fault activity) and records a point event so
+        the fault shows up on the Chrome-trace timeline when spans are
+        kept.
+        """
+        self.incr(f"aiacc.faults.{kind}")
+        self.point(f"aiacc.fault.{kind}", time, **meta)
+
     def busy_fraction(self, name: str, total_time: float) -> float:
         """Fraction of ``total_time`` spent in activity ``name``."""
         if total_time <= 0:

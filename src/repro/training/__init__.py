@@ -34,8 +34,11 @@ from repro.training.pipeline import (
     run_pipeline_training,
 )
 from repro.training.resilience import (
+    FaultInjectionResult,
+    RecoveryRecord,
     ResilienceResult,
     optimal_checkpoint_interval,
+    run_fault_injected_training,
     simulate_resilient_training,
 )
 from repro.training.numeric import (
@@ -52,7 +55,11 @@ from repro.training.optimizer import (
     DistributedOptimizer,
     Optimizer,
 )
-from repro.training.trainer import ThroughputResult, run_training
+from repro.training.trainer import (
+    ThroughputResult,
+    build_train_context,
+    run_training,
+)
 
 __all__ = [
     "AIACC_RECIPE_EPOCHS",
@@ -60,16 +67,20 @@ __all__ = [
     "AdamSGD",
     "BASELINE_RECIPE_EPOCHS",
     "DistributedOptimizer",
+    "FaultInjectionResult",
     "HybridPlan",
     "LRSchedule",
     "LinearDecay",
     "NumericPipeline",
     "PipelinePlan",
+    "RecoveryRecord",
     "ResilienceResult",
     "StaleGradientTrainer",
     "async_iteration_time_s",
+    "build_train_context",
     "optimal_checkpoint_interval",
     "plan_pipeline",
+    "run_fault_injected_training",
     "run_pipeline_training",
     "simulate_resilient_training",
     "Optimizer",

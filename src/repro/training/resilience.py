@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import tempfile
 import typing as t
 
-from repro.errors import TrainingError
+import numpy as np
+
+from repro.errors import PeerDeadError, TrainingError
 from repro.models.base import ModelSpec
 from repro.models.zoo import get_model
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.tracing import Trace
+from repro.sim.transport import TransportModel
+from repro.sim.tcp import TCP
 
 #: Sustained write bandwidth of cloud block storage for checkpoints.
 CHECKPOINT_WRITE_BPS = 2e9 * 8
@@ -207,3 +214,261 @@ def simulate_elastic_scaling(
         ))
         previous_gpus = num_gpus
     return results, total_time
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryRecord:
+    """Timeline of one detected failure and the recovery that followed."""
+
+    #: Original node ids that died in this failure batch.
+    failed_nodes: tuple[int, ...]
+    #: Simulated time the (first) crash was injected.
+    injected_at_s: float
+    #: Time the engine first suspected a peer (first missed deadline).
+    suspected_at_s: float
+    #: Time the peer was declared dead (retries exhausted).
+    confirmed_at_s: float
+    #: Time training resumed on the rebuilt cluster.
+    resumed_at_s: float
+    #: Iterations completed when the failure was confirmed.
+    failed_at_iteration: int
+    #: Checkpoint iteration training restarted from.
+    resumed_iteration: int
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Crash injection to confirmed declaration."""
+        return self.confirmed_at_s - self.injected_at_s
+
+    @property
+    def rebuild_time_s(self) -> float:
+        """Confirmation to resumed training."""
+        return self.resumed_at_s - self.confirmed_at_s
+
+    @property
+    def lost_iterations(self) -> int:
+        """Work discarded by restarting from the checkpoint."""
+        return self.failed_at_iteration - self.resumed_iteration
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjectionResult:
+    """Outcome of an event-driven fault-injected training run."""
+
+    model: str
+    backend: str
+    initial_num_gpus: int
+    final_num_gpus: int
+    total_iterations: int
+    wasted_iterations: int
+    total_time_s: float
+    checkpoint_time_s: float
+    iteration_times_s: tuple[float, ...]
+    recoveries: tuple[RecoveryRecord, ...]
+    trace: Trace
+
+    @property
+    def ideal_iteration_s(self) -> float:
+        """Healthy per-iteration time (first completed iteration)."""
+        return self.iteration_times_s[0]
+
+    @property
+    def ideal_time_s(self) -> float:
+        return self.total_iterations * self.ideal_iteration_s
+
+    @property
+    def goodput(self) -> float:
+        """Useful-work fraction, comparable to
+        :attr:`ResilienceResult.goodput`."""
+        return self.ideal_time_s / self.total_time_s
+
+
+def run_fault_injected_training(
+    model: str | ModelSpec,
+    plan: FaultPlan,
+    backend: str | t.Any = "aiacc",
+    num_gpus: int = 16,
+    total_iterations: int = 20,
+    checkpoint_interval: int = 5,
+    checkpoint_dir: str | None = None,
+    batch_per_gpu: int | None = None,
+    gpus_per_node: int = 8,
+    transport: TransportModel = TCP,
+    nic_bandwidth_bps: float = 30e9,
+    sync_timeout_s: float = 1.0,
+    unit_timeout_s: float = 2.0,
+    comm_retries: int = 1,
+    retry_backoff_s: float = 0.25,
+    restart_overhead_s: float = DEFAULT_RESTART_OVERHEAD_S,
+    trace: Trace | None = None,
+    max_restarts: int = 8,
+) -> FaultInjectionResult:
+    """Train under an event-driven fault schedule and self-heal.
+
+    Unlike :func:`simulate_resilient_training` (a closed-form time walk),
+    this runs the real AIACC engine inside the discrete-event simulator
+    with a :class:`~repro.sim.faults.FaultInjector` armed: a crashed node
+    stalls in-flight flows and new collectives, the engine's timeout
+    detector suspects and then confirms the death
+    (:class:`~repro.errors.PeerDeadError`), in-flight units are aborted,
+    the ring is rebuilt over the survivors, state restores from the last
+    checkpoint via :class:`~repro.core.fault_tolerance.ElasticCoordinator`,
+    and training resumes — all on the simulated clock, so the recovery
+    trajectory (detection latency, rebuild time, lost work) is measured,
+    not assumed.
+
+    The full (non-representative) link set is simulated so the dead
+    node's NIC squash actually stalls traffic; ``sync_timeout_s`` /
+    ``unit_timeout_s`` / ``comm_retries`` / ``retry_backoff_s`` drive the
+    paper's §IV failure detector.
+    """
+    from repro.core.fault_tolerance import CheckpointManager, \
+        ElasticCoordinator
+    from repro.frameworks import make_backend
+    from repro.training.trainer import build_train_context
+
+    spec = get_model(model) if isinstance(model, str) else model
+    if total_iterations < 1 or checkpoint_interval < 1:
+        raise TrainingError("iterations/interval must be >= 1")
+    if num_gpus % gpus_per_node != 0 or num_gpus < 2 * gpus_per_node:
+        raise TrainingError(
+            "fault injection needs >= 2 whole nodes (num_gpus a multiple "
+            "of gpus_per_node)"
+        )
+    if isinstance(backend, str):
+        backend = make_backend(backend)
+    config = getattr(backend, "config", None)
+    if config is None or not hasattr(backend, "abort"):
+        raise TrainingError(
+            "fault-injected training requires an abortable backend with "
+            "detection timeouts (the aiacc engine)"
+        )
+    backend.config = config.replace(
+        sync_timeout_s=sync_timeout_s, unit_timeout_s=unit_timeout_s,
+        comm_retries=comm_retries, retry_backoff_s=retry_backoff_s)
+    num_nodes = num_gpus // gpus_per_node
+    if plan.crash_count >= num_nodes:
+        raise TrainingError(
+            f"plan crashes {plan.crash_count} of {num_nodes} nodes; "
+            "at least one must survive"
+        )
+    batch = batch_per_gpu or spec.default_batch_size
+    run_trace = trace or Trace(enabled=True, keep_spans=True)
+
+    ctx = build_train_context(
+        spec, backend, num_gpus, batch, transport=transport,
+        nic_bandwidth_bps=nic_bandwidth_bps, gpus_per_node=gpus_per_node,
+        trace=run_trace, representative=False)
+    sim = ctx.sim
+    injector = FaultInjector(sim, ctx.cluster, ctx.network, trace=run_trace)
+    injector.arm(plan)
+
+    # Checkpoint payloads are stubs: simulated time uses the analytical
+    # write cost, so there is no reason to shovel real gigabytes through
+    # the filesystem of the machine running the simulation.
+    def _stub_state(iteration: int) -> dict:
+        return {"theta": np.asarray([iteration], dtype=np.float32)}
+
+    cleanup: tempfile.TemporaryDirectory | None = None
+    if checkpoint_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-faults-")
+        checkpoint_dir = cleanup.name
+    try:
+        checkpoints = CheckpointManager(checkpoint_dir, keep_last=3)
+        elastic = ElasticCoordinator(
+            checkpoints, initial_workers=num_gpus,
+            init_parameters=lambda: _stub_state(0))
+        ckpt_cost = checkpoint_write_time_s(spec)
+        rebuild_cost = restart_overhead_s + broadcast_time_s(spec)
+
+        warm = sim.spawn(backend.warmup(ctx), name="warmup")
+        sim.run(until=warm)
+        start = sim.now
+
+        times: list[float] = []
+        recoveries: list[RecoveryRecord] = []
+        ckpt_total = 0.0
+        wasted = 0
+        completed = 0
+        while completed < total_iterations:
+            proc = sim.spawn(backend.iteration(ctx), name=f"iter{completed}")
+            proc.add_callback(lambda _ev: None)  # watch: record, don't raise
+            sim.run(until=proc)
+            if proc.ok:
+                times.append(proc.value.iteration_time_s)
+                completed += 1
+                if completed % checkpoint_interval == 0:
+                    checkpoints.save(completed, _stub_state(completed))
+                    ckpt_total += ckpt_cost
+                    sim.run(until=sim.timeout(ckpt_cost))
+                continue
+
+            failure = proc.value
+            if not isinstance(failure, PeerDeadError):
+                raise t.cast(BaseException, failure)
+            if len(recoveries) >= max_restarts:
+                raise TrainingError(
+                    f"exceeded {max_restarts} restarts; aborting"
+                )
+            backend.abort(failure)
+            dead = injector.take_pending_dead()
+            if not dead:
+                raise TrainingError(
+                    "failure detector confirmed a dead peer but no node "
+                    "crashed — detection timeouts are too aggressive for "
+                    "this configuration"
+                )
+            # Pay the restart overhead per batch of deaths; more crashes
+            # landing during the window extend the outage.
+            all_dead: list[int] = []
+            while dead:
+                all_dead.extend(dead)
+                run_trace.fault("rebuild", sim.now, nodes=tuple(dead))
+                sim.run(until=sim.timeout(rebuild_cost))
+                dead = injector.take_pending_dead()
+
+            resume_iteration, _params = elastic.on_failure(
+                failed_workers=len(all_dead) * gpus_per_node)
+            run_trace.fault("restore", sim.now,
+                            iteration=resume_iteration)
+            survivors = ctx.cluster.num_nodes - len(all_dead)
+            # Rebuild the communicator over the survivors and retarget
+            # the injector with no intervening simulated time, so no
+            # fault can land between the two.
+            ctx = build_train_context(
+                spec, backend, survivors * gpus_per_node, batch,
+                transport=transport, nic_bandwidth_bps=nic_bandwidth_bps,
+                gpus_per_node=gpus_per_node, trace=run_trace,
+                representative=False, sim=sim)
+            injector.retarget(ctx.cluster, ctx.network)
+            rewarm = sim.spawn(backend.warmup(ctx), name="rewarmup")
+            sim.run(until=rewarm)
+            recoveries.append(RecoveryRecord(
+                failed_nodes=tuple(all_dead),
+                injected_at_s=min(injector.crash_times[n]
+                                  for n in all_dead),
+                suspected_at_s=failure.suspected_at_s,
+                confirmed_at_s=failure.confirmed_at_s,
+                resumed_at_s=sim.now,
+                failed_at_iteration=completed,
+                resumed_iteration=resume_iteration,
+            ))
+            wasted += completed - resume_iteration
+            completed = resume_iteration
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    return FaultInjectionResult(
+        model=spec.name,
+        backend=backend.name,
+        initial_num_gpus=num_gpus,
+        final_num_gpus=ctx.cluster.world_size,
+        total_iterations=total_iterations,
+        wasted_iterations=wasted,
+        total_time_s=sim.now - start,
+        checkpoint_time_s=ckpt_total,
+        iteration_times_s=tuple(times),
+        recoveries=tuple(recoveries),
+        trace=run_trace,
+    )

@@ -71,6 +71,64 @@ class ThroughputResult:
         return max(0.0, self.mean_iteration_s - self.compute_time_s)
 
 
+def build_train_context(
+    spec: ModelSpec,
+    backend: DDLBackend,
+    num_gpus: int,
+    batch_per_gpu: int,
+    transport: TransportModel = TCP,
+    nic_bandwidth_bps: float = 30e9,
+    gpus_per_node: int = 8,
+    trace: Trace | None = None,
+    extra_forward_time_s: float = 0.0,
+    congested_links: t.Mapping[int, float] | None = None,
+    gpu_spec: t.Any = None,
+    representative: bool | None = None,
+    sim: Simulator | None = None,
+) -> TrainContext:
+    """Build a fresh simulator + cluster + network training context.
+
+    Shared by :func:`run_training` and the fault-injection driver
+    (:func:`repro.training.resilience.run_fault_injected_training`, which
+    passes ``representative=False`` so that a crashed node's links are
+    actually simulated and its death stalls real flows).
+    """
+    sim = sim or Simulator()
+    network = FluidNetwork(sim)
+    from repro.sim.cuda import V100
+
+    if congested_links:
+        from repro.sim.topology import Cluster, NodeSpec
+
+        if num_gpus % gpus_per_node != 0:
+            raise TrainingError("num_gpus must fill whole nodes when "
+                                "injecting congestion")
+        node_spec = NodeSpec(gpus_per_node=gpus_per_node,
+                             nic_bandwidth_bps=nic_bandwidth_bps,
+                             transport=transport,
+                             gpu=gpu_spec or V100)
+        cluster = Cluster(sim, num_gpus // gpus_per_node, node_spec,
+                          congested_links=congested_links)
+    else:
+        cluster = alibaba_v100_cluster(
+            sim, num_gpus, transport=transport,
+            nic_bandwidth_bps=nic_bandwidth_bps,
+            gpus_per_node=gpus_per_node, gpu=gpu_spec or V100)
+    run_trace = trace or Trace(enabled=True)
+    return TrainContext(
+        sim=sim,
+        network=network,
+        cluster=cluster,
+        collectives=TimedCollectives(sim, network, cluster, trace=run_trace,
+                                     representative=representative),
+        model=spec,
+        batch_per_gpu=batch_per_gpu,
+        trace=run_trace,
+        wire_dtype_bytes=_wire_bytes_of(backend),
+        extra_forward_time_s=extra_forward_time_s,
+    )
+
+
 def run_training(
     model: str | ModelSpec,
     backend: str | DDLBackend,
@@ -120,41 +178,14 @@ def run_training(
         )
     batch = batch_per_gpu or spec.default_batch_size
 
-    sim = Simulator()
-    network = FluidNetwork(sim)
-    if congested_links:
-        from repro.sim.topology import Cluster, NodeSpec
-
-        if num_gpus % gpus_per_node != 0:
-            raise TrainingError("num_gpus must fill whole nodes when "
-                                "injecting congestion")
-        from repro.sim.cuda import V100
-
-        node_spec = NodeSpec(gpus_per_node=gpus_per_node,
-                             nic_bandwidth_bps=nic_bandwidth_bps,
-                             transport=transport,
-                             gpu=gpu_spec or V100)
-        cluster = Cluster(sim, num_gpus // gpus_per_node, node_spec,
-                          congested_links=congested_links)
-    else:
-        from repro.sim.cuda import V100
-
-        cluster = alibaba_v100_cluster(
-            sim, num_gpus, transport=transport,
-            nic_bandwidth_bps=nic_bandwidth_bps,
-            gpus_per_node=gpus_per_node, gpu=gpu_spec or V100)
-    run_trace = trace or Trace(enabled=True)
-    ctx = TrainContext(
-        sim=sim,
-        network=network,
-        cluster=cluster,
-        collectives=TimedCollectives(sim, network, cluster, trace=run_trace),
-        model=spec,
-        batch_per_gpu=batch,
-        trace=run_trace,
-        wire_dtype_bytes=_wire_bytes_of(backend),
+    ctx = build_train_context(
+        spec, backend, num_gpus, batch,
+        transport=transport, nic_bandwidth_bps=nic_bandwidth_bps,
+        gpus_per_node=gpus_per_node, trace=trace,
         extra_forward_time_s=extra_forward_time_s,
+        congested_links=congested_links, gpu_spec=gpu_spec,
     )
+    sim = ctx.sim
 
     warm = sim.spawn(backend.warmup(ctx), name="warmup")
     sim.run(until=warm)

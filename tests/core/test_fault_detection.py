@@ -1,0 +1,225 @@
+"""Failure detection in the AIACC core (sync deadlines, unit timeouts,
+stalled collectives, engine abort)."""
+
+import pytest
+
+from repro.core.registration import GradientRegistry
+from repro.core.runtime import AIACCConfig
+from repro.core.streams import CommStreamPool
+from repro.core.synchronization import DecentralizedSynchronizer
+from repro.errors import (
+    PeerDeadError,
+    ProcessInterrupt,
+    ReproError,
+    SyncTimeoutError,
+)
+from repro.models import ParameterSpec
+from repro.sim import Communicator, FluidNetwork, Simulator
+from repro.sim.cuda import GPUDevice, V100
+from repro.sim.topology import Cluster, NodeSpec
+from repro.sim.tracing import Trace
+from repro.collectives.timed import TimedCollectives
+
+
+def frozen_registry(names=("a", "b")):
+    registry = GradientRegistry()
+    for name in names:
+        registry.register(ParameterSpec(name, 4))
+    registry.freeze()
+    for name in names:
+        registry.mark_ready(name)
+    return registry
+
+
+class TestConfigValidation:
+    def test_detection_fields_default_off(self):
+        config = AIACCConfig()
+        assert config.sync_timeout_s is None
+        assert config.unit_timeout_s is None
+        assert config.comm_retries == 2
+        assert config.retry_backoff_s == 0.5
+
+    @pytest.mark.parametrize("field,value", [
+        ("sync_timeout_s", 0.0),
+        ("sync_timeout_s", -1.0),
+        ("unit_timeout_s", 0.0),
+        ("comm_retries", -1),
+        ("retry_backoff_s", -0.1),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ReproError):
+            AIACCConfig(**{field: value})
+
+    def test_valid_detection_config(self):
+        config = AIACCConfig(sync_timeout_s=1.0, unit_timeout_s=2.0,
+                             comm_retries=0, retry_backoff_s=0.0)
+        assert config.sync_timeout_s == 1.0
+
+
+class TestSyncRoundTimeout:
+    def test_missing_peer_raises_sync_timeout(self):
+        """A rank whose ring peers never show up misses the deadline."""
+        sim = Simulator()
+        comm = Communicator(sim, size=2)
+        sync = DecentralizedSynchronizer(sim, comm, rank=0,
+                                         registry=frozen_registry())
+        proc = sim.spawn(sync.sync_round(timeout_s=0.5))
+        proc.add_callback(lambda _ev: None)
+        sim.run(until=proc)
+        assert not proc.ok
+        error = proc.value
+        assert isinstance(error, SyncTimeoutError)
+        assert error.rank == 0
+        assert error.round_index == 0
+        assert error.deadline_s == 0.5
+        assert sim.now == pytest.approx(0.5)
+
+    def test_healthy_round_unaffected_by_deadline(self):
+        sim = Simulator()
+        comm = Communicator(sim, size=2)
+        procs = []
+        for rank in range(2):
+            sync = DecentralizedSynchronizer(sim, comm, rank=rank,
+                                             registry=frozen_registry())
+            procs.append(sim.spawn(sync.sync_round(timeout_s=60.0)))
+        sim.run(until=sim.all_of(procs))
+        for proc in procs:
+            assert proc.ok
+            assert list(proc.value) == [0, 1]
+
+
+class TestStalledCollectives:
+    def make(self, num_nodes=2):
+        sim = Simulator()
+        cluster = Cluster(sim, num_nodes, NodeSpec(gpus_per_node=2))
+        network = FluidNetwork(sim)
+        trace = Trace(enabled=True)
+        collectives = TimedCollectives(sim, network, cluster, trace=trace,
+                                       representative=False)
+        return sim, cluster, collectives, trace
+
+    def test_allreduce_hangs_when_node_dead(self):
+        sim, cluster, collectives, trace = self.make()
+        cluster.fail_node(1)
+        done = collectives.allreduce(1e6)
+        sim.run(until=sim.timeout(120.0))
+        assert not done.triggered
+        assert trace.counters["aiacc.faults.stalled_collectives"] == 1
+
+    def test_control_roundtrip_hangs_when_node_dead(self):
+        sim, cluster, collectives, _ = self.make()
+        cluster.fail_node(0)
+        done = collectives.control_roundtrip()
+        sim.run(until=sim.timeout(120.0))
+        assert not done.triggered
+
+    def test_broadcast_hangs_when_node_dead(self):
+        sim, cluster, collectives, _ = self.make()
+        cluster.fail_node(1)
+        done = collectives.broadcast(1e6)
+        sim.run(until=sim.timeout(120.0))
+        assert not done.triggered
+
+    def test_collectives_resume_after_restore(self):
+        sim, cluster, collectives, _ = self.make()
+        cluster.fail_node(1)
+        cluster.restore_node(1)
+        done = collectives.allreduce(1e6)
+        sim.run(until=done)
+        assert done.triggered
+
+
+class TestStreamPoolInterrupts:
+    def test_interrupt_while_running_releases_streams(self):
+        sim = Simulator()
+        pool = CommStreamPool(sim, GPUDevice(V100), num_streams=4,
+                              compute_occupancy=0.0)
+
+        def never():
+            return sim.event(name="hung-allreduce")
+
+        proc = sim.spawn(pool.run_unit(never, streams=2))
+        proc.add_callback(lambda _ev: None)
+        sim.run(until=sim.timeout(1.0))
+        assert pool.in_flight == 2
+        proc.interrupt("abort")
+        sim.run(until=proc)
+        assert not proc.ok
+        assert pool.in_flight == 0
+
+    def test_interrupt_while_queued_withdraws_request(self):
+        sim = Simulator()
+        pool = CommStreamPool(sim, GPUDevice(V100), num_streams=1,
+                              compute_occupancy=0.0)
+
+        def never():
+            return sim.event(name="hung")
+
+        first = sim.spawn(pool.run_unit(never))
+        first.add_callback(lambda _ev: None)
+        queued = sim.spawn(pool.run_unit(never))
+        queued.add_callback(lambda _ev: None)
+        sim.run(until=sim.timeout(1.0))
+        assert pool.in_flight == 1
+        queued.interrupt("abort")
+        sim.run(until=queued)
+        assert not queued.ok
+        assert isinstance(queued.value, ProcessInterrupt)
+        # The withdrawn request must not hold or later consume a slot.
+        first.interrupt("abort")
+        sim.run()
+        assert pool.in_flight == 0
+
+
+class TestEngineDetection:
+    def run_iteration_with_crash(self, crash_at_s, sync_timeout_s=0.5,
+                                 comm_retries=1):
+        from repro.core.engine import AIACCBackend
+        from repro.models.synthetic import random_model_spec
+        from repro.sim.faults import FaultInjector, FaultPlan, NodeCrash
+        from repro.training.trainer import build_train_context
+
+        spec = random_model_spec(seed=0, num_layers=8,
+                                 total_parameters=2_000_000,
+                                 total_forward_flops=1e9)
+        backend = AIACCBackend(AIACCConfig(
+            sync_timeout_s=sync_timeout_s, unit_timeout_s=1.0,
+            comm_retries=comm_retries, retry_backoff_s=0.1))
+        trace = Trace(enabled=True)
+        ctx = build_train_context(spec, backend, 16,
+                                  spec.default_batch_size,
+                                  trace=trace, representative=False)
+        injector = FaultInjector(ctx.sim, ctx.cluster, ctx.network,
+                                 trace=trace)
+        injector.arm(FaultPlan([NodeCrash(at_s=crash_at_s, node=1)]))
+        warm = ctx.sim.spawn(backend.warmup(ctx))
+        ctx.sim.run(until=warm)
+        proc = ctx.sim.spawn(backend.iteration(ctx))
+        proc.add_callback(lambda _ev: None)
+        ctx.sim.run(until=proc)
+        return backend, ctx, proc, trace
+
+    def test_crash_mid_iteration_confirms_peer_dead(self):
+        backend, ctx, proc, trace = self.run_iteration_with_crash(
+            crash_at_s=0.02)
+        assert not proc.ok
+        failure = proc.value
+        assert isinstance(failure, PeerDeadError)
+        assert failure.confirmed_at_s > failure.suspected_at_s
+        assert trace.counters["aiacc.faults.suspect"] >= 1
+        assert trace.counters["aiacc.faults.confirm"] >= 1
+
+    def test_abort_clears_inflight_units(self):
+        backend, ctx, proc, _ = self.run_iteration_with_crash(
+            crash_at_s=0.02)
+        interrupted = backend.abort("rebuilding")
+        assert interrupted >= 0
+        assert backend._inflight == set()
+        # The simulator must stay consistent after the abort.
+        ctx.sim.run(until=ctx.sim.timeout(1.0))
+
+    def test_healthy_iteration_with_detection_enabled(self):
+        backend, ctx, proc, trace = self.run_iteration_with_crash(
+            crash_at_s=1e9)  # never fires
+        assert proc.ok
+        assert trace.counters.get("aiacc.faults.suspect", 0) == 0

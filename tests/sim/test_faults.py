@@ -1,0 +1,226 @@
+"""Unit tests for the fault-injection subsystem (`repro.sim.faults`)."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, ProcessInterrupt
+from repro.sim.faults import (
+    DEAD_LINK_BPS,
+    BandwidthDegradation,
+    FaultInjector,
+    FaultPlan,
+    LinkFlap,
+    NodeCrash,
+    Straggler,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import FluidNetwork
+from repro.sim.topology import Cluster, NodeSpec
+from repro.sim.tracing import Trace
+
+
+def make_cluster(sim, num_nodes=4):
+    return Cluster(sim, num_nodes, NodeSpec(gpus_per_node=2))
+
+
+class TestFaultPlan:
+    def test_plan_sorts_by_time(self):
+        plan = FaultPlan([NodeCrash(at_s=5.0, node=0),
+                          NodeCrash(at_s=1.0, node=1)])
+        assert [f.at_s for f in plan] == [1.0, 5.0]
+        assert plan.crash_count == 2
+        assert len(plan) == 2
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(FaultInjectionError):
+            NodeCrash(at_s=-1.0, node=0)
+        with pytest.raises(FaultInjectionError):
+            LinkFlap(at_s=0.0, node=0, down_s=0.0)
+        with pytest.raises(FaultInjectionError):
+            BandwidthDegradation(at_s=0.0, node=0, fraction=1.5)
+        with pytest.raises(FaultInjectionError):
+            Straggler(at_s=0.0, node=0, slowdown=0.5)
+
+    def test_validate_for_checks_node_range(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, num_nodes=2)
+        plan = FaultPlan([NodeCrash(at_s=1.0, node=7)])
+        with pytest.raises(FaultInjectionError):
+            plan.validate_for(cluster)
+
+    def test_poisson_is_deterministic_and_bounded(self):
+        a = FaultPlan.poisson(mtbf_s=5.0, horizon_s=50.0, num_nodes=4,
+                              seed=3)
+        b = FaultPlan.poisson(mtbf_s=5.0, horizon_s=50.0, num_nodes=4,
+                              seed=3)
+        assert [f.at_s for f in a] == [f.at_s for f in b]
+        assert all(0 <= f.at_s < 50.0 for f in a)
+        # Crashes target distinct nodes.
+        victims = [f.node for f in a if isinstance(f, NodeCrash)]
+        assert len(victims) == len(set(victims)) <= 4
+
+    def test_poisson_mixed_kinds(self):
+        plan = FaultPlan.poisson(
+            mtbf_s=2.0, horizon_s=40.0, num_nodes=4, seed=1,
+            kinds=(NodeCrash, LinkFlap, BandwidthDegradation, Straggler))
+        kinds = {type(f) for f in plan}
+        assert len(kinds) >= 2  # the draw mixes fault types
+
+
+class TestFaultInjectorCrash:
+    def test_crash_squashes_links_and_marks_node(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        injector.arm(FaultPlan([NodeCrash(at_s=2.0, node=1)]))
+        sim.run()
+        assert cluster.failed_nodes == {1}
+        assert cluster.alive_nodes == [0, 2, 3]
+        assert cluster.alive_world_size == 6
+        assert cluster.nic_out[1].capacity_bps == DEAD_LINK_BPS
+        assert cluster.nic_in[1].capacity_bps == DEAD_LINK_BPS
+        assert cluster.nvlink[1].capacity_bps == DEAD_LINK_BPS
+        assert injector.take_pending_dead() == [1]
+        assert injector.take_pending_dead() == []  # drained
+        assert injector.crash_times[1] == pytest.approx(2.0)
+
+    def test_crash_stalls_inflight_flow(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        # A transfer that would finish quickly on a healthy link.
+        flow = network.start_flow([cluster.nic_out[1]], size_bytes=1e9)
+        injector.arm(FaultPlan([NodeCrash(at_s=0.01, node=1)]))
+        sim.run(until=sim.timeout(60.0))
+        assert not flow.triggered  # stalled, not completed
+
+    def test_crash_interrupts_registered_victims(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        causes = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(100.0)
+            except ProcessInterrupt as exc:
+                causes.append(exc.cause)
+
+        proc = sim.spawn(worker(sim))
+        injector.register_victim(1, proc)
+        injector.arm(FaultPlan([NodeCrash(at_s=3.0, node=1)]))
+        sim.run(until=proc)
+        assert len(causes) == 1
+        assert isinstance(causes[0], NodeCrash)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_trace_records_injection(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        trace = Trace(enabled=True, keep_spans=True)
+        injector = FaultInjector(sim, cluster, FluidNetwork(sim),
+                                 trace=trace)
+        injector.arm(FaultPlan([NodeCrash(at_s=1.0, node=0)]))
+        sim.run()
+        assert trace.counters["aiacc.faults.inject"] == 1
+        assert any(name == "aiacc.fault.inject"
+                   for name, _, _ in trace.points)
+
+
+class TestTransientFaults:
+    def test_link_flap_goes_down_and_recovers(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        healthy = cluster.nic_out[2].capacity_bps
+        injector.arm(FaultPlan([LinkFlap(at_s=1.0, node=2, down_s=2.0)]))
+        sim.run(until=sim.timeout(1.5))
+        assert cluster.nic_out[2].capacity_bps == DEAD_LINK_BPS
+        sim.run()
+        assert cluster.nic_out[2].capacity_bps == pytest.approx(healthy)
+        assert not cluster.failed_nodes  # flaps are not crashes
+
+    def test_degradation_scales_and_restores(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        healthy = cluster.nic_out[0].capacity_bps
+        injector.arm(FaultPlan([BandwidthDegradation(
+            at_s=1.0, node=0, fraction=0.25, duration_s=3.0)]))
+        sim.run(until=sim.timeout(2.0))
+        assert cluster.nic_out[0].capacity_bps == \
+            pytest.approx(healthy * 0.25)
+        sim.run()
+        assert cluster.nic_out[0].capacity_bps == pytest.approx(healthy)
+
+    def test_straggler_slows_transfers(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        healthy = cluster.nic_out[3].capacity_bps
+        injector.arm(FaultPlan([Straggler(at_s=0.5, node=3, slowdown=4.0,
+                                          duration_s=1.0)]))
+        sim.run(until=sim.timeout(1.0))
+        assert cluster.nic_out[3].capacity_bps == \
+            pytest.approx(healthy / 4.0)
+        sim.run()
+        assert cluster.nic_out[3].capacity_bps == pytest.approx(healthy)
+
+    def test_crash_during_flap_window_stays_down(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        injector.arm(FaultPlan([
+            LinkFlap(at_s=1.0, node=1, down_s=5.0),
+            NodeCrash(at_s=2.0, node=1),
+        ]))
+        sim.run()
+        # The flap's restore must not resurrect a dead node's NIC.
+        assert cluster.nic_out[1].capacity_bps == DEAD_LINK_BPS
+        assert cluster.failed_nodes == {1}
+
+
+class TestRetarget:
+    def test_retarget_remaps_original_node_ids(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, num_nodes=4)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        injector.arm(FaultPlan([
+            NodeCrash(at_s=1.0, node=1),
+            NodeCrash(at_s=10.0, node=3),
+        ]))
+        sim.run(until=sim.timeout(2.0))
+        assert injector.take_pending_dead() == [1]
+        # Rebuild over survivors {0, 2, 3} -> new indices {0, 1, 2}.
+        new_cluster = make_cluster(sim, num_nodes=3)
+        new_network = FluidNetwork(sim)
+        injector.retarget(new_cluster, new_network)
+        sim.run()
+        # Original node 3 is index 2 in the rebuilt cluster.
+        assert new_cluster.failed_nodes == {2}
+        assert new_cluster.nic_out[2].capacity_bps == DEAD_LINK_BPS
+        assert injector.take_pending_dead() == [3]
+
+    def test_retarget_rejects_wrong_size(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, num_nodes=4)
+        injector = FaultInjector(sim, cluster, FluidNetwork(sim))
+        injector.apply(NodeCrash(at_s=0.0, node=0))
+        with pytest.raises(FaultInjectionError):
+            injector.retarget(make_cluster(sim, num_nodes=4),
+                              FluidNetwork(sim))
+
+    def test_fault_on_already_crashed_node_is_noop(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        injector = FaultInjector(sim, cluster, FluidNetwork(sim))
+        injector.apply(NodeCrash(at_s=0.0, node=2))
+        injector.apply(NodeCrash(at_s=0.0, node=2))  # idempotent
+        assert injector.take_pending_dead() == [2]

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import pathlib
 
 import pytest
@@ -79,6 +80,37 @@ class TestCommands:
         script.write_text("x = 1\n")
         assert main(["translate", str(script), "--mode",
                      "sequential"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_faults_scripted_crash(self, capsys):
+        assert main(["faults", "--model", "resnet50", "--gpus", "16",
+                     "--iterations", "6", "--checkpoint-interval", "2",
+                     "--crash-node", "1", "--crash-at", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "16 -> 8 GPUs" in out
+        assert "recovery 0:" in out
+        assert "goodput" in out
+        assert "aiacc.faults.confirm: 1" in out
+
+    def test_faults_poisson_schedule(self, capsys):
+        assert main(["faults", "--model", "resnet50", "--gpus", "16",
+                     "--iterations", "4", "--mtbf", "20", "--seed",
+                     "3"]) == 0
+        assert "injected crashes:" in capsys.readouterr().out
+
+    def test_faults_trace_output(self, capsys, tmp_path):
+        trace_out = tmp_path / "faults.json"
+        assert main(["faults", "--model", "resnet50", "--gpus", "16",
+                     "--iterations", "4", "--checkpoint-interval", "2",
+                     "--crash-node", "1", "--crash-at", "0.3",
+                     "--trace-out", str(trace_out)]) == 0
+        events = json.loads(trace_out.read_text())
+        assert any(ev.get("name") == "aiacc.fault.inject" for ev in events)
+
+    def test_faults_rejects_small_cluster(self, capsys):
+        assert main(["faults", "--model", "resnet50", "--gpus", "8"]) == 1
         assert "error:" in capsys.readouterr().err
 
 
