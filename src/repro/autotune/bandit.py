@@ -45,21 +45,21 @@ class AUCBandit:
     def auc(self, technique: str) -> float:
         """Normalised area under the technique's improvement curve.
 
-        Improvement events draw an upward segment, others a flat one; the
-        area is normalised by the maximal possible area so it lies in
-        [0, 1].  More-recent improvements contribute larger area (the
-        curve is cumulative), matching the paper's description.
+        Improvement events draw an upward segment, others a flat one, and
+        the area is accumulated from the *end* of the window backwards:
+        the ``i``-th event (oldest first, out of ``k``) contributes
+        ``i + 1`` when it improved, so a recent improvement carries area
+        under every later step while an old one has mostly fallen off.
+        Normalised by the maximal possible area (``k (k+1) / 2``) so the
+        result lies in [0, 1] — recency-weighted credit, matching the
+        paper's sliding-window intent.
         """
         events = [improved for name, improved in self.history
                   if name == technique]
         if not events:
             return 0.0
-        height = 0
-        area = 0.0
-        for improved in events:
-            if improved:
-                height += 1
-            area += height
+        area = sum(index + 1.0
+                   for index, improved in enumerate(events) if improved)
         max_area = len(events) * (len(events) + 1) / 2
         return area / max_area
 

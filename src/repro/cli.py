@@ -41,6 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_check_invariants(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--check-invariants", action="store_true",
+            help="run under the simulation-wide invariant checker "
+            "(resource accounting, cross-worker agreement, replay "
+            "digest); equivalent to REPRO_CHECK_INVARIANTS=1")
+
     sub.add_parser("table1", help="print Table I (model characteristics)")
 
     train = sub.add_parser("train", help="measure one deployment")
@@ -55,15 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="AIACC stream count (default: tuned heuristic)")
     train.add_argument("--granularity-mb", type=float, default=None,
                        help="AIACC unit granularity in MB")
+    add_check_invariants(train)
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    add_check_invariants(bench)
 
     tune = sub.add_parser("tune", help="run the §VI auto-tuner")
     tune.add_argument("--model", default="resnet50")
     tune.add_argument("--gpus", type=int, default=64)
     tune.add_argument("--budget", type=int, default=40)
     tune.add_argument("--seed", type=int, default=0)
+    add_check_invariants(tune)
 
     translate = sub.add_parser("translate",
                                help="port a script to the Perseus API")
@@ -98,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--retries", type=int, default=1)
     faults.add_argument("--trace-out", type=pathlib.Path, default=None,
                         help="write a Chrome trace JSON of the run")
+    add_check_invariants(faults)
 
     return parser
 
@@ -287,6 +298,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         sync_timeout_s=args.sync_timeout,
         unit_timeout_s=args.unit_timeout,
         comm_retries=args.retries,
+        check_invariants=args.check_invariants,
     )
 
     print(f"model:               {result.model}")
@@ -320,6 +332,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
     for name, value in fault_counters.items():
         print(f"{name}: {value:g}")
 
+    if result.state_digest is not None:
+        print(f"invariants:          ok (state digest "
+              f"{result.state_digest})")
+
     if args.trace_out is not None:
         args.trace_out.write_text(
             json.dumps(result.trace.to_chrome_trace()))
@@ -330,6 +346,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
 def main(argv: t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "check_invariants", False):
+        # The environment flag is how every simulator and AIACCConfig
+        # constructed downstream picks the checker up, without threading
+        # the option through each command's call graph.
+        import os
+
+        from repro.sim.invariants import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
     handlers = {
         "table1": cmd_table1,
         "train": cmd_train,

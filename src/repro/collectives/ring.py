@@ -21,7 +21,7 @@ import typing as t
 
 import numpy as np
 
-from repro.errors import CollectiveError
+from repro.errors import CollectiveError, ProcessInterrupt
 from repro.collectives.primitives import (
     ReduceOp,
     apply_op,
@@ -64,6 +64,19 @@ def ring_allreduce_worker(
     predecessor, successor = comm.ring_neighbors(rank)
     itemsize = work.itemsize
 
+    def _recv(tag: int) -> t.Generator:
+        # Interrupt-safe receive: an interrupted (e.g. timed-out) worker
+        # must withdraw its pending getter, or a later send on the same
+        # tag hands its payload to this dead request and the retry round
+        # silently loses a message.
+        request = comm.recv(rank, predecessor, tag=tag)
+        try:
+            incoming = yield request
+        except ProcessInterrupt:
+            comm.cancel_recv(request)
+            raise
+        return incoming
+
     # Phase 1: reduce-scatter.
     for step in range(n - 1):
         send_idx = (rank - step) % n
@@ -72,7 +85,7 @@ def ring_allreduce_worker(
         comm.send(rank, successor, work[lo:hi].copy(),
                   nbytes=(hi - lo) * itemsize,
                   tag=tag_base + step)
-        incoming = yield comm.recv(rank, predecessor, tag=tag_base + step)
+        incoming = yield from _recv(tag_base + step)
         lo, hi = bounds[recv_idx]
         work[lo:hi] = apply_op(op, work[lo:hi], incoming)
 
@@ -84,8 +97,7 @@ def ring_allreduce_worker(
         comm.send(rank, successor, work[lo:hi].copy(),
                   nbytes=(hi - lo) * itemsize,
                   tag=tag_base + _TAG_STRIDE + step)
-        incoming = yield comm.recv(rank, predecessor,
-                                   tag=tag_base + _TAG_STRIDE + step)
+        incoming = yield from _recv(tag_base + _TAG_STRIDE + step)
         lo, hi = bounds[recv_idx]
         work[lo:hi] = incoming
 

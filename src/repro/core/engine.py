@@ -35,6 +35,7 @@ from repro.frameworks.base import (
     TrainContext,
     UPDATE_TIME_S,
 )
+from repro.sim.invariants import InvariantChecker, ensure_invariants
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
 
@@ -53,6 +54,7 @@ class AIACCBackend(DDLBackend):
         self._pool: CommStreamPool | None = None
         self._registry: GradientRegistry | None = None
         self._daemon: Resource | None = None
+        self._checker: InvariantChecker | None = None
         #: Processes this iteration spawned that are still running;
         #: :meth:`abort` interrupts them on a confirmed peer death.
         self._inflight: set[Process] = set()
@@ -61,6 +63,12 @@ class AIACCBackend(DDLBackend):
 
     def warmup(self, ctx: TrainContext) -> t.Generator:
         """Create stream contexts and the registry (one-time setup)."""
+        # Attach the invariant checker before building the pool/daemon so
+        # their resources register their accounting ledgers with it.
+        if self.config.check_invariants:
+            self._checker = ensure_invariants(ctx.sim)
+        else:
+            self._checker = getattr(ctx.sim, "invariants", None)
         self._registry = GradientRegistry()
         self._registry.register_model(ctx.model)
         self._registry.freeze()
@@ -151,6 +159,14 @@ class AIACCBackend(DDLBackend):
         if unit_processes:
             yield ctx.sim.all_of(unit_processes)
 
+        if self._checker is not None:
+            # Iteration boundary is a quiescence point: every stream slot
+            # returned, no queued units, the daemon idle — anything else
+            # means an interrupt leaked a grant or a counter drifted.
+            self._checker.check_pool_quiescent(pool, rank=0)
+            self._checker.check_idle(
+                t.cast(Resource, self._daemon), rank=0)
+
         yield ctx.sim.timeout(UPDATE_TIME_S)
         return IterationStats(
             iteration_time_s=ctx.sim.now - start,
@@ -221,6 +237,9 @@ class AIACCBackend(DDLBackend):
         daemon = t.cast(Resource, self._daemon)
         spec = ctx.cluster.spec
         units = packer.pack(batch)
+        if self._checker is not None:
+            self._checker.check_unit_plan(
+                units, self.config.granularity_bytes, rank=0)
 
         # CPU service time on the daemon: one ring relay per sync round
         # plus one launch per unit.

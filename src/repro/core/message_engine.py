@@ -62,6 +62,9 @@ class MessageLevelResult:
     reduced: list[dict[str, np.ndarray]]
     units: int
     sync_rounds: int
+    #: Event-sequence digest (replay determinism); ``None`` unless the
+    #: invariant checker ran.
+    state_digest: str | None = None
 
 
 class _SharedState:
@@ -79,6 +82,7 @@ def run_message_level_iteration(
     config: AIACCConfig | None = None,
     compute_time_s: float = 0.0,
     seed: int = 0,
+    check_invariants: bool = False,
 ) -> MessageLevelResult:
     """Execute one full AIACC iteration with real per-worker processes.
 
@@ -86,9 +90,17 @@ def run_message_level_iteration(
     schedule is spread (0 = all gradients available immediately).
     Gradient values are deterministic per (worker, parameter) so the
     reduction can be verified.
+
+    With ``check_invariants`` (or ``config.check_invariants``, or the
+    environment flag) the invariant checker runs as a shadow referee:
+    every worker's unit plan and sync decision is compared against the
+    other ranks' for the same round, and the returned
+    ``state_digest`` fingerprints the full event sequence.
     """
     config = config or AIACCConfig()
-    sim = Simulator()
+    checking = check_invariants or config.check_invariants
+    sim = Simulator(check_invariants=True if checking else None)
+    checker = sim.invariants
     network = FluidNetwork(sim)
     cluster = Cluster(sim, num_nodes,
                       NodeSpec(gpus_per_node=gpus_per_node))
@@ -174,6 +186,7 @@ def run_message_level_iteration(
             # across workers.
             if after is not None:
                 yield after
+            round_index = synchronizers[rank]._round
             ready = yield sim.spawn(synchronizers[rank].sync_round())
             if rank == 0:
                 shared.sync_rounds += 1
@@ -188,6 +201,11 @@ def run_message_level_iteration(
                     "globally ready despite symmetric production"
                 )
             units = packer.pack(ready_new)
+            if checker is not None:
+                # Shadow referee: every rank's independently computed
+                # plan for this round must be structurally identical.
+                checker.report_unit_plan(rank, round_index, units,
+                                         config.granularity_bytes)
             communicated.update(gid for gid, _ in ready_new)
             if rank == 0:
                 shared.units_seen += len(units)
@@ -245,4 +263,5 @@ def run_message_level_iteration(
         reduced=reduced,
         units=shared.units_seen,
         sync_rounds=shared.sync_rounds,
+        state_digest=sim.state_digest(),
     )

@@ -22,6 +22,16 @@ import typing as t
 
 from repro.errors import PackingError
 
+#: Minimum slice size, as a fraction of the packing granularity.  Byte
+#: counts are floats, so closing a unit at *exact* granularity lets
+#: accumulated rounding error leave a ~1e-10-byte residue of "room" that
+#: would be emitted as a degenerate :class:`TensorSlice` (and, worse, the
+#: residue can be below the float epsilon of ``current_bytes`` so adding
+#: it is a no-op and packing stalls).  Units are therefore closed once
+#: within ``granularity * SLICE_EPSILON_FRACTION`` of full, and residues
+#: below that epsilon are absorbed into the preceding slice.
+SLICE_EPSILON_FRACTION = 1e-9
+
 
 @dataclasses.dataclass(frozen=True)
 class TensorSlice:
@@ -66,7 +76,11 @@ class GradientPacker:
 
         Gradients are processed in id order; tensors larger than the
         granularity are sliced, smaller ones merged.  Every unit except
-        possibly the last is exactly ``granularity_bytes``.
+        possibly the last is ``granularity_bytes`` within a relative
+        tolerance of :data:`SLICE_EPSILON_FRACTION`: byte counts are
+        floats, and demanding *exact* fullness would emit degenerate
+        sub-epsilon residue slices (or stall outright when the residue
+        falls below the accumulator's float epsilon).
         """
         if not gradients:
             return []
@@ -78,6 +92,7 @@ class GradientPacker:
                 raise PackingError(f"gradient {grad_id} has no bytes")
             seen.add(grad_id)
 
+        epsilon = self.granularity_bytes * SLICE_EPSILON_FRACTION
         units: list[AllReduceUnit] = []
         current: list[TensorSlice] = []
         current_bytes = 0.0
@@ -87,11 +102,16 @@ class GradientPacker:
             while remaining > 0:
                 room = self.granularity_bytes - current_bytes
                 take = min(remaining, room)
+                if remaining - take <= epsilon:
+                    # Never leave a sub-epsilon tail of this gradient for
+                    # the next unit: absorb it into this slice instead of
+                    # emitting a degenerate residue slice later.
+                    take = remaining
                 current.append(TensorSlice(grad_id, offset, take))
                 current_bytes += take
                 offset += take
                 remaining -= take
-                if current_bytes >= self.granularity_bytes:
+                if self.granularity_bytes - current_bytes <= epsilon:
                     units.append(self._emit(current))
                     current = []
                     current_bytes = 0.0

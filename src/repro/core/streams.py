@@ -35,21 +35,30 @@ class CommStreamPool:
         self.gpu = gpu
         self.requested_streams = num_streams
         self.compute_occupancy = compute_occupancy
-        #: One-time cost of creating the streams/communicators, paid at
-        #: :meth:`setup`.
-        self.setup_latency_s = setup_latency_s * num_streams
+        #: Cost of creating *one* stream/communicator context — the
+        #: constructor argument, kept under an unambiguous name (the
+        #: argument used to be silently redefined from per-stream to
+        #: total under the same attribute name).
+        self.per_stream_setup_latency_s = float(setup_latency_s)
+        #: One-time cost of creating all ``num_streams`` contexts, paid
+        #: sequentially at :meth:`setup` (stream construction is a
+        #: host-side serial operation).
+        self.total_setup_latency_s = float(setup_latency_s) * num_streams
         self._resource = Resource(
             sim,
             capacity=gpu.effective_streams(num_streams, compute_occupancy),
             name="comm-streams",
         )
+        #: Units actually granted a stream (counted on grant, not on
+        #: request: a queued request cancelled by an interrupt never
+        #: dispatched anything and must not inflate this metric).
         self.dispatched_units = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     def setup(self) -> Event:
         """Event firing once stream contexts are constructed."""
-        return self.sim.timeout(self.setup_latency_s)
+        return self.sim.timeout(self.total_setup_latency_s)
 
     def compute_finished(self) -> None:
         """Backward compute ended: all requested streams become usable."""
@@ -78,9 +87,21 @@ class CommStreamPool:
         return self._resource.in_use
 
     def acquire(self, streams: int = 1) -> Event:
-        """Wait for ``streams`` free slots (granted atomically)."""
-        self.dispatched_units += 1
-        return self._resource.acquire(streams)
+        """Wait for ``streams`` free slots (granted atomically).
+
+        ``dispatched_units`` is incremented when the grant fires, not
+        when the request is queued — a request later withdrawn by an
+        interrupt (:meth:`run_unit`'s cancel path) never dispatched and
+        must not drift the post-recovery metrics.
+        """
+        grant = self._resource.acquire(streams)
+
+        def _count_grant(event: Event) -> None:
+            if event.ok:
+                self.dispatched_units += 1
+
+        grant.add_callback(_count_grant)
+        return grant
 
     def release(self, streams: int = 1) -> None:
         self._resource.release(streams)

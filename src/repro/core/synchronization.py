@@ -66,22 +66,34 @@ class DecentralizedSynchronizer:
         tag_base = _SYNC_TAG_BASE + round_index * _SYNC_TAG_STRIDE
         self._round += 1
         local = self.registry.sync_vector.copy()
+        checker = getattr(self.sim, "invariants", None)
         worker = self.sim.spawn(ring_allreduce_worker(
             self.sim, self.comm, self.rank, local,
             op=ReduceOp.MIN, tag_base=tag_base),
             name=f"sync.r{self.rank}")
+        if checker is not None:
+            checker.on_sync_worker(self, self.rank, round_index, worker)
         if timeout_s is None:
             reduced = yield worker
         else:
             index, value = yield self.sim.any_of(
                 [worker, self.sim.timeout(timeout_s)])
             if index != 0:
+                # The ring worker must not be abandoned: alive, it keeps
+                # consuming this round's tags and peer messages, which
+                # collide with the retry round's exchanges.
+                if worker.can_interrupt:
+                    worker.interrupt("sync deadline missed")
                 raise SyncTimeoutError(self.rank, round_index, timeout_s)
             reduced = value
         mask = t.cast(np.ndarray, reduced)
         if mask.shape != local.shape:
             raise SynchronizationError("sync vector shape changed mid-round")
-        return np.flatnonzero(mask == 1)
+        ready = np.flatnonzero(mask == 1)
+        if checker is not None:
+            checker.report_sync_result(self.rank, round_index, len(mask),
+                                       ready)
+        return ready
 
 
 def synchronize_all(

@@ -16,6 +16,34 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class InvariantViolation(ReproError):
+    """A simulation-wide invariant was violated.
+
+    Raised by the opt-in :class:`repro.sim.invariants.InvariantChecker`
+    (``AIACCConfig.check_invariants`` / ``--check-invariants`` /
+    ``REPRO_CHECK_INVARIANTS=1``).  Structured so a violation in a
+    multi-worker run pinpoints itself: it names the invariant, the rank it
+    is attributable to (when known), and the simulated time.
+    """
+
+    def __init__(self, invariant: str, detail: str,
+                 rank: "int | None" = None,
+                 sim_time: "float | None" = None) -> None:
+        where = []
+        if rank is not None:
+            where.append(f"rank {rank}")
+        if sim_time is not None:
+            where.append(f"t={sim_time:.6f}s")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(
+            f"invariant {invariant!r} violated{suffix}: {detail}"
+        )
+        self.invariant = invariant
+        self.detail = detail
+        self.rank = rank
+        self.sim_time = sim_time
+
+
 class ProcessInterrupt(ReproError):
     """A simulated process was interrupted by another process.
 

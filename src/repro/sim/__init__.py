@@ -13,11 +13,18 @@ V100 nodes, 30 Gbps VPC TCP / RDMA) with a deterministic simulator:
 - :mod:`repro.sim.topology` — clusters of V100 nodes;
 - :mod:`repro.sim.cuda` — GPU compute timing and CUDA-stream contention;
 - :mod:`repro.sim.mpi` — per-worker communication daemons;
-- :mod:`repro.sim.tracing` — metric collection.
+- :mod:`repro.sim.tracing` — metric collection;
+- :mod:`repro.sim.invariants` — opt-in invariant checking and
+  deterministic-replay digests.
 """
 
 from repro.sim.cuda import A100, GPUDevice, GPUSpec, V100
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.invariants import (
+    InvariantChecker,
+    ensure_invariants,
+    invariants_enabled_by_env,
+)
 from repro.sim.faults import (
     BandwidthDegradation,
     FaultInjector,
@@ -51,6 +58,7 @@ __all__ = [
     "FluidNetwork",
     "GPUDevice",
     "GPUSpec",
+    "InvariantChecker",
     "Link",
     "LinkFlap",
     "NodeCrash",
@@ -69,6 +77,8 @@ __all__ = [
     "TransportModel",
     "V100",
     "alibaba_v100_cluster",
+    "ensure_invariants",
+    "invariants_enabled_by_env",
     "rdma_transport",
     "tcp_transport",
 ]

@@ -16,6 +16,7 @@ import typing as t
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.invariants import InvariantChecker, invariants_enabled_by_env
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
@@ -23,6 +24,16 @@ if t.TYPE_CHECKING:  # pragma: no cover
 
 class Simulator:
     """A deterministic discrete-event simulator.
+
+    Ties between simultaneous events are broken by insertion order (a
+    monotone counter), so two runs of the same seeded workload pop events
+    in the same sequence.  With ``check_invariants`` enabled (or the
+    ``REPRO_CHECK_INVARIANTS`` environment flag set) an
+    :class:`~repro.sim.invariants.InvariantChecker` is attached as
+    ``self.invariants``: resources register accounting ledgers with it,
+    components report cross-worker decisions to it, and every popped
+    event is folded into a run digest (:meth:`state_digest`) proving
+    run-to-run replay determinism.
 
     Example
     -------
@@ -36,11 +47,16 @@ class Simulator:
     'done'
     """
 
-    def __init__(self) -> None:
+    def __init__(self, check_invariants: bool | None = None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event, object]] = []
         self._counter = itertools.count()
         self._active_processes = 0
+        self.invariants: InvariantChecker | None = None
+        if check_invariants is None:
+            check_invariants = invariants_enabled_by_env()
+        if check_invariants:
+            InvariantChecker().attach(self)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -116,6 +132,8 @@ class Simulator:
             raise SimulationError("step() called on an empty event queue")
         when, _, event, value = heapq.heappop(self._heap)
         self.now = when
+        if self.invariants is not None:
+            self.invariants.record_event(when, event.name)
         if not event.triggered:
             event.succeed(value)
 
@@ -157,3 +175,14 @@ class Simulator:
     def queue_length(self) -> int:
         """Number of scheduled (not yet fired) events."""
         return len(self._heap)
+
+    def state_digest(self) -> str | None:
+        """Digest of the event sequence popped so far, or ``None``.
+
+        Only available when the invariant checker is attached.  Two runs
+        of the same seeded workload must return byte-identical digests —
+        the deterministic-replay invariant.
+        """
+        if self.invariants is None:
+            return None
+        return self.invariants.digest()

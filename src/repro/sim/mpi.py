@@ -124,6 +124,25 @@ class Communicator:
             self._waiting.setdefault(key, deque()).append(event)
         return event
 
+    def cancel_recv(self, event: Event) -> bool:
+        """Withdraw a pending :meth:`recv` request.
+
+        An interrupted receiver must not leave its getter queued: a later
+        send matching the same ``(dst, src, tag)`` would hand its payload
+        to the dead request, silently stealing a message from the retry
+        round.  Returns ``True`` when the getter was still waiting;
+        ``False`` when a payload was already dispatched to it (the
+        message is consumed — callers retrying on fresh tags avoid the
+        residual race).
+        """
+        for waiting in self._waiting.values():
+            try:
+                waiting.remove(event)
+            except ValueError:
+                continue
+            return True
+        return False
+
     # -- internals ----------------------------------------------------------
 
     def _transfer(self, src: int, dst: int, nbytes: float) -> Event:

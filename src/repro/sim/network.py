@@ -51,7 +51,11 @@ class Link:
         self.name = name
         self.capacity_bps = float(capacity_bps)
         self.latency_s = float(latency_s)
-        self.flows: set["Flow"] = set()
+        # Insertion-ordered (dict-as-set): flows hash by identity, so a
+        # plain set would iterate in an address-dependent order and leak
+        # run-to-run nondeterminism into rate assignment and completion
+        # scheduling.
+        self.flows: dict["Flow", None] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         gbps = self.capacity_bps / 1e9
@@ -102,7 +106,11 @@ class FluidNetwork:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.flows: set[Flow] = set()
+        # Insertion-ordered for the same reason as Link.flows: every
+        # traversal (progress debits, water-filling, completion sweeps)
+        # must visit flows in creation order so that identical runs
+        # schedule identical event sequences.
+        self.flows: dict[Flow, None] = {}
         #: Monotonic token used to invalidate stale wakeup events.
         self._wakeup_token = 0
         #: Total bits delivered, for utilisation accounting.
@@ -129,9 +137,9 @@ class FluidNetwork:
         flow = Flow(links, size_bytes * 8.0, rate_cap_bps, done, self.sim.now,
                     tail_latency_s=latency)
         self._advance_progress()
-        self.flows.add(flow)
+        self.flows[flow] = None
         for link in flow.links:
-            link.flows.add(flow)
+            link.flows[flow] = None
         self._reallocate()
         return done
 
@@ -181,7 +189,7 @@ class FluidNetwork:
 
     def _assign_rates(self) -> None:
         """Progressive-filling max-min fair allocation with per-flow caps."""
-        unassigned = set(self.flows)
+        unassigned = dict.fromkeys(self.flows)
         residual = {link: link.capacity_bps
                     for flow in unassigned for link in flow.links}
         load = {link: 0 for link in residual}
@@ -220,10 +228,10 @@ class FluidNetwork:
                 self._fix_rate(flow, share, unassigned, residual, load)
 
     @staticmethod
-    def _fix_rate(flow: Flow, rate: float, unassigned: set[Flow],
+    def _fix_rate(flow: Flow, rate: float, unassigned: dict[Flow, None],
                   residual: dict[Link, float], load: dict[Link, int]) -> None:
         flow.rate_bps = max(0.0, rate)
-        unassigned.discard(flow)
+        unassigned.pop(flow, None)
         for link in flow.links:
             residual[link] = max(0.0, residual[link] - flow.rate_bps)
             load[link] -= 1
@@ -232,9 +240,9 @@ class FluidNetwork:
         """Fire completion events for flows that have fully drained."""
         finished = [f for f in self.flows if f.remaining_bits <= _COMPLETE_BITS]
         for flow in finished:
-            self.flows.discard(flow)
+            self.flows.pop(flow, None)
             for link in flow.links:
-                link.flows.discard(flow)
+                link.flows.pop(flow, None)
             duration = self.sim.now - flow.started_at
             tail = flow.tail_latency_s
             self.sim._schedule_at(self.sim.now + tail, flow.done, duration + tail)

@@ -46,11 +46,31 @@ class Resource:
         self.name = name or "resource"
         self.in_use = 0
         self._waiters: deque[tuple[Event, int]] = deque()
+        # Double-entry grant/release ledger.  ``in_use`` must always equal
+        # ``granted_slots - released_slots``; the invariant checker (when
+        # attached to the simulator) verifies this after every mutation.
+        self.granted_slots = 0
+        self.released_slots = 0
+        self.total_grants = 0
+        self._checker = getattr(sim, "invariants", None)
+        if self._checker is not None:
+            self._checker.register_resource(self)
 
     @property
     def available(self) -> int:
         """Number of free slots."""
         return self.capacity - self.in_use
+
+    @property
+    def waiting_requests(self) -> int:
+        """Number of queued (not yet granted) acquire requests."""
+        return len(self._waiters)
+
+    def _grant(self, count: int) -> None:
+        """Record one all-or-nothing grant of ``count`` slots."""
+        self.in_use += count
+        self.granted_slots += count
+        self.total_grants += 1
 
     def acquire(self, count: int = 1) -> Event:
         """Return an event firing once ``count`` slots are held atomically.
@@ -63,17 +83,21 @@ class Resource:
         self._check_count(count)
         event = self.sim.event(name=f"{self.name}.acquire")
         if not self._waiters and self._fits(count):
-            self.in_use += count
+            self._grant(count)
             self.sim._schedule_at(self.sim.now, event, None)
         else:
             self._waiters.append((event, count))
+        if self._checker is not None:
+            self._checker.check_resource(self)
         return event
 
     def try_acquire(self, count: int = 1) -> bool:
         """Take ``count`` slots immediately if available; never blocks."""
         self._check_count(count)
         if not self._waiters and self._fits(count):
-            self.in_use += count
+            self._grant(count)
+            if self._checker is not None:
+                self._checker.check_resource(self)
             return True
         return False
 
@@ -90,7 +114,10 @@ class Resource:
                 f"release({count}) exceeds held slots on {self.name!r}"
             )
         self.in_use -= count
+        self.released_slots += count
         self._wake_waiters()
+        if self._checker is not None:
+            self._checker.check_resource(self)
 
     def cancel(self, event: Event) -> bool:
         """Withdraw a pending :meth:`acquire` request.
@@ -152,7 +179,7 @@ class Resource:
             if not self._fits(count):
                 break
             self._waiters.popleft()
-            self.in_use += count
+            self._grant(count)
             self.sim._schedule_at(self.sim.now, event, None)
 
 
@@ -164,6 +191,7 @@ class Store:
         self.name = name or "store"
         self._items: deque[object] = deque()
         self._getters: deque[Event] = deque()
+        self._checker = getattr(sim, "invariants", None)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -175,6 +203,8 @@ class Store:
             self.sim._schedule_at(self.sim.now, event, item)
         else:
             self._items.append(item)
+        if self._checker is not None:
+            self._checker.check_store(self)
 
     def get(self) -> Event:
         """Return an event whose value is the next item (FIFO order)."""
@@ -183,6 +213,8 @@ class Store:
             self.sim._schedule_at(self.sim.now, event, self._items.popleft())
         else:
             self._getters.append(event)
+        if self._checker is not None:
+            self._checker.check_store(self)
         return event
 
     def try_get(self) -> tuple[bool, object]:

@@ -266,6 +266,9 @@ class FaultInjectionResult:
     iteration_times_s: tuple[float, ...]
     recoveries: tuple[RecoveryRecord, ...]
     trace: Trace
+    #: Event-sequence digest (replay determinism); ``None`` unless the
+    #: run executed under the invariant checker.
+    state_digest: str | None = None
 
     @property
     def ideal_iteration_s(self) -> float:
@@ -302,6 +305,7 @@ def run_fault_injected_training(
     restart_overhead_s: float = DEFAULT_RESTART_OVERHEAD_S,
     trace: Trace | None = None,
     max_restarts: int = 8,
+    check_invariants: bool = False,
 ) -> FaultInjectionResult:
     """Train under an event-driven fault schedule and self-heal.
 
@@ -345,7 +349,8 @@ def run_fault_injected_training(
         )
     backend.config = config.replace(
         sync_timeout_s=sync_timeout_s, unit_timeout_s=unit_timeout_s,
-        comm_retries=comm_retries, retry_backoff_s=retry_backoff_s)
+        comm_retries=comm_retries, retry_backoff_s=retry_backoff_s,
+        check_invariants=check_invariants or config.check_invariants)
     num_nodes = num_gpus // gpus_per_node
     if plan.crash_count >= num_nodes:
         raise TrainingError(
@@ -471,4 +476,5 @@ def run_fault_injected_training(
         iteration_times_s=tuple(times),
         recoveries=tuple(recoveries),
         trace=run_trace,
+        state_digest=sim.state_digest(),
     )

@@ -26,16 +26,28 @@ class TestAUC:
         assert bandit.auc("a") == 0.0
 
     def test_recent_improvements_worth_more_than_early(self):
-        # The curve is cumulative: early wins accumulate area on every
-        # later event, but a late win after flatline means small area —
-        # a technique that stopped improving decays.
+        # Recency weighting: a technique whose wins are fresh must score
+        # above one whose identical wins have nearly slid out of the
+        # window — a technique that stopped improving decays.
         early = AUCBandit(["a"])
         for improved in (True, True, False, False, False, False):
             early.reward("a", improved)
         late = AUCBandit(["a"])
         for improved in (False, False, False, False, True, True):
             late.reward("a", improved)
-        assert early.auc("a") != late.auc("a")
+        assert late.auc("a") > early.auc("a")
+
+    def test_recency_weights_are_linear_in_position(self):
+        # The i-th event (oldest first, k events total) contributes
+        # (i + 1) / (k (k + 1) / 2) when it improved.
+        oldest = AUCBandit(["a"])
+        for improved in (True, False, False):
+            oldest.reward("a", improved)
+        assert oldest.auc("a") == pytest.approx(1.0 / 6.0)
+        newest = AUCBandit(["a"])
+        for improved in (False, False, True):
+            newest.reward("a", improved)
+        assert newest.auc("a") == pytest.approx(3.0 / 6.0)
 
     def test_window_slides(self):
         bandit = AUCBandit(["a"], window=3)

@@ -73,6 +73,47 @@ class TestCommStreamPool:
         sim.run(until=done)
         assert sim.now == pytest.approx(10e-3)
 
+    def test_setup_latency_attributes_unambiguous(self):
+        # The constructor argument is per-stream; the derived total is a
+        # separate, explicitly named attribute (the old code silently
+        # redefined `setup_latency_s` from per-stream to total).
+        sim = Simulator()
+        pool = CommStreamPool(sim, GPUDevice(V100), 10, 0.5,
+                              setup_latency_s=1e-3)
+        assert pool.per_stream_setup_latency_s == pytest.approx(1e-3)
+        assert pool.total_setup_latency_s == pytest.approx(10e-3)
+
+    def test_dispatched_units_counts_grants(self):
+        sim, pool = self.make_pool(streams=2, occupancy=0.5)
+
+        def unit():
+            yield pool.acquire()
+            yield sim.timeout(1.0)
+            pool.release()
+
+        for _ in range(4):
+            sim.spawn(unit())
+        sim.run()
+        assert pool.dispatched_units == 4
+
+    def test_cancelled_request_not_counted_as_dispatch(self):
+        # Count on grant, not on request: a queued acquire withdrawn by
+        # an interrupt never dispatched anything.
+        sim, pool = self.make_pool(streams=1, occupancy=0.0)
+
+        def never():
+            return sim.event(name="hung")
+
+        running = sim.spawn(pool.run_unit(never))
+        running.add_callback(lambda _ev: None)
+        queued = sim.spawn(pool.run_unit(never))
+        queued.add_callback(lambda _ev: None)
+        sim.run(until=sim.timeout(1.0))
+        assert pool.in_flight == 1
+        queued.interrupt("abort")
+        sim.run(until=queued)
+        assert pool.dispatched_units == 1
+
 
 class TestAIACCBackend:
     def test_iteration_without_warmup_rejected(self):

@@ -74,6 +74,47 @@ class TestSyncRoundTimeout:
         assert error.deadline_s == 0.5
         assert sim.now == pytest.approx(0.5)
 
+    def test_timeout_interrupts_ring_worker(self):
+        """The timed-out worker must be torn down, not abandoned.
+
+        An abandoned worker stays alive consuming this round's tags and
+        peer messages, which collide with the retry round's exchanges.
+        """
+        sim = Simulator()
+        comm = Communicator(sim, size=2)
+        sync = DecentralizedSynchronizer(sim, comm, rank=0,
+                                         registry=frozen_registry())
+        proc = sim.spawn(sync.sync_round(timeout_s=0.5))
+        proc.add_callback(lambda _ev: None)
+        sim.run(until=proc)
+        assert isinstance(proc.value, SyncTimeoutError)
+        sim.run()
+        # No leftover getter: an interrupted receiver withdraws its
+        # pending recv, so a late peer message cannot be stolen.
+        assert all(not waiting for waiting in comm._waiting.values())
+
+    def test_retry_round_works_after_timeout(self):
+        """After rank 0 times out alone, a full retry round succeeds."""
+        sim = Simulator()
+        comm = Communicator(sim, size=2)
+        registries = [frozen_registry(), frozen_registry()]
+        syncs = [DecentralizedSynchronizer(sim, comm, rank, registries[rank])
+                 for rank in range(2)]
+        failed = sim.spawn(syncs[0].sync_round(timeout_s=0.5))
+        failed.add_callback(lambda _ev: None)
+        sim.run(until=failed)
+        assert isinstance(failed.value, SyncTimeoutError)
+        # Keep the round numbers aligned: rank 1 burns its round 0 too
+        # (its worker sits waiting, as a slow-but-alive peer would).
+        burn = sim.spawn(syncs[1].sync_round(timeout_s=0.5))
+        burn.add_callback(lambda _ev: None)
+        sim.run(until=burn)
+        retry = [sim.spawn(s.sync_round(timeout_s=60.0)) for s in syncs]
+        sim.run(until=sim.all_of(retry))
+        for proc in retry:
+            assert proc.ok
+            assert list(proc.value) == [0, 1]
+
     def test_healthy_round_unaffected_by_deadline(self):
         sim = Simulator()
         comm = Communicator(sim, size=2)

@@ -1,10 +1,16 @@
 """Tests for gradient packing into all-reduce units."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.packing import GradientPacker, unpack
+from repro.core.packing import (
+    GradientPacker,
+    SLICE_EPSILON_FRACTION,
+    unpack,
+)
 from repro.errors import PackingError
 
 
@@ -73,6 +79,93 @@ class TestPacking:
     def test_invalid_granularity_rejected(self):
         with pytest.raises(PackingError):
             GradientPacker(0)
+
+
+class TestFloatResidue:
+    """Regression: accumulated float error must not emit degenerate slices.
+
+    Summing many sizes that are not exactly representable (0.1, 0.2, ...)
+    leaves the unit accumulator a hair short of the granularity; the old
+    exact-fullness close then emitted a ~1e-16-byte residue slice (and,
+    at 16 MiB scale, the residue can fall below the accumulator's float
+    epsilon, so packing stalled adding zero forever).
+    """
+
+    @staticmethod
+    def _assert_no_degenerate_slices(units, granularity):
+        epsilon = granularity * SLICE_EPSILON_FRACTION
+        split_counts = {}
+        for unit in units:
+            for piece in unit.slices:
+                split_counts[piece.grad_id] = \
+                    split_counts.get(piece.grad_id, 0) + 1
+        for unit in units:
+            for piece in unit.slices:
+                if split_counts[piece.grad_id] > 1:
+                    assert piece.nbytes > epsilon, (
+                        f"degenerate {piece.nbytes!r}-byte slice of "
+                        f"gradient {piece.grad_id}")
+
+    def test_tenths_fill_unit_without_residue_slice(self):
+        # 10 x 0.1 sums to 0.9999999999999999 < 1.0: the old code packed
+        # an 11th slice of 1.1e-16 bytes to "fill" the unit.
+        packer = GradientPacker(granularity_bytes=1.0)
+        units = packer.pack([(i, 0.1) for i in range(50)])
+        self._assert_no_degenerate_slices(units, 1.0)
+        assert sum(u.nbytes for u in units) == pytest.approx(5.0)
+        assert unpack(units) == {i: pytest.approx(0.1) for i in range(50)}
+        # Units close within tolerance: 10 tenths per unit, 5 units.
+        assert len(units) == 5
+        assert all(len(u.slices) == 10 for u in units)
+
+    def test_issue_case_16mib_granularity(self):
+        # The issue's adversarial sizes: granularity 16 MiB, gradients of
+        # 0.1 and 0.2 MB repeating.  At this scale a sub-epsilon residue
+        # of room is below float eps(16 MiB) and the old loop stalled.
+        granularity = 16.0 * 1024 * 1024
+        sizes = [(i, 0.1e6 if i % 2 else 0.2e6) for i in range(2000)]
+        packer = GradientPacker(granularity)
+        units = packer.pack(sizes)
+        self._assert_no_degenerate_slices(units, granularity)
+        totals = unpack(units)
+        for gid, nbytes in sizes:
+            assert totals[gid] == pytest.approx(nbytes)
+        epsilon = granularity * SLICE_EPSILON_FRACTION
+        for unit in units[:-1]:
+            assert unit.nbytes == pytest.approx(granularity,
+                                                abs=2 * epsilon)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(0.01, 500.0, allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=30),
+        granularity=st.floats(0.5, 256.0),
+    )
+    def test_property_float_sizes_roundtrip(self, sizes, granularity):
+        packer = GradientPacker(granularity)
+        gradients = list(enumerate(sizes))
+        units = packer.pack(gradients)
+        self._assert_no_degenerate_slices(units, granularity)
+        totals = unpack(units)
+        for gid, nbytes in gradients:
+            assert totals[gid] == pytest.approx(nbytes)
+        assert sum(u.nbytes for u in units) == pytest.approx(sum(sizes))
+
+    def test_thousand_random_gradient_lists_roundtrip(self):
+        # Issue satellite: exact totals, no gap/overlap (unpack raises on
+        # either), and no degenerate slices across 1k random lists.
+        rng = random.Random(20260806)
+        for _ in range(1000):
+            granularity = rng.uniform(1.0, 64.0)
+            count = rng.randint(1, 12)
+            gradients = [(gid, rng.uniform(0.05, 4 * granularity))
+                         for gid in range(count)]
+            units = GradientPacker(granularity).pack(gradients)
+            self._assert_no_degenerate_slices(units, granularity)
+            totals = unpack(units)
+            for gid, nbytes in gradients:
+                assert totals[gid] == pytest.approx(nbytes)
 
 
 class TestUnpack:
