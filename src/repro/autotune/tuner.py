@@ -27,6 +27,7 @@ from repro.autotune.hyperband import Hyperband
 from repro.autotune.pbt import PopulationBasedTraining
 from repro.autotune.space import ParameterPoint, SearchSpace
 from repro.autotune.techniques import SearchTechnique
+from repro.obs import Observability
 
 
 logger = logging.getLogger("repro.autotune")
@@ -77,9 +78,25 @@ class AutoTuner:
                  techniques: t.Sequence[SearchTechnique] | None = None,
                  budget: int = 100, window: int = 20,
                  exploration: float = 0.2, seed: int = 0,
-                 initial_point: ParameterPoint | None = None) -> None:
+                 initial_point: ParameterPoint | None = None,
+                 obs: Observability | None = None) -> None:
         if budget < 1:
             raise AutotuneError("budget must be >= 1")
+        #: Observability sink for trial/bandit-credit telemetry.
+        self.obs = obs or Observability.disabled()
+        registry = self.obs.registry
+        self._m_trials = registry.counter(
+            "autotune_trials_total", "Warm-up trials per search technique")
+        self._m_credit = registry.counter(
+            "autotune_bandit_credit_total",
+            "Bandit rewards (new global bests) per search technique")
+        self._m_trial_cost = registry.histogram(
+            "autotune_trial_cost_seconds",
+            "Measured iteration cost of each warm-up trial",
+            buckets=(1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0))
+        self._m_best_cost = registry.gauge(
+            "autotune_best_cost_seconds",
+            "Best iteration cost found so far")
         self.space = space or SearchSpace()
         self.techniques = list(techniques) if techniques is not None \
             else default_ensemble(self.space, seed=seed)
@@ -110,8 +127,12 @@ class AutoTuner:
             improved = cost < best_cost
             if improved:
                 best_point, best_cost = point, cost
+                self._m_credit.inc(technique=name)
+                self._m_best_cost.set(cost)
             if name in self.bandit.techniques:
                 self.bandit.reward(name, improved)
+            self._m_trials.inc(technique=name)
+            self._m_trial_cost.observe(cost, technique=name)
             trials.append(Trial(index, name, point, cost, improved))
             if improved:
                 logger.debug(

@@ -15,6 +15,10 @@ Commands
 ``faults``
     Inject node crashes into a simulated run and report the measured
     recovery trajectory (detection latency, rebuild time, goodput).
+``report``
+    Run one fully-instrumented iteration and emit the observability
+    report: per-rank step-time attribution, per-stream lane usage,
+    per-link utilisation, plus Perfetto/Prometheus/JSONL artifacts.
 """
 
 from __future__ import annotations
@@ -109,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--trace-out", type=pathlib.Path, default=None,
                         help="write a Chrome trace JSON of the run")
     add_check_invariants(faults)
+
+    report = sub.add_parser(
+        "report", help="step-time attribution report with trace artifacts")
+    report.add_argument("--model", default="resnet50")
+    report.add_argument("--nodes", type=int, default=2)
+    report.add_argument("--gpus-per-node", type=int, default=2)
+    report.add_argument("--streams", type=int, default=None,
+                        help="AIACC stream count (default: config default)")
+    report.add_argument("--granularity-mb", type=float, default=None,
+                        help="AIACC unit granularity in MB")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("results/report"),
+                        help="directory for trace.json / timeline.jsonl / "
+                        "metrics.prom")
 
     return parser
 
@@ -343,6 +362,48 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.runtime import AIACCConfig
+    from repro.harness import format_table
+    from repro.obs import write_artifacts
+    from repro.obs.report import build_step_report
+
+    overrides: dict[str, t.Any] = {}
+    if args.streams is not None:
+        overrides["num_streams"] = args.streams
+    if args.granularity_mb is not None:
+        overrides["granularity_bytes"] = args.granularity_mb * 1e6
+    config = AIACCConfig(**overrides)
+
+    report = build_step_report(
+        model=args.model, num_nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node, config=config, seed=args.seed)
+
+    print(f"model:          {report.model}")
+    print(f"workers:        {report.world_size} "
+          f"({args.nodes} nodes x {args.gpus_per_node} GPUs)")
+    print(f"iteration time: {report.iteration_time_s * 1e3:.2f} ms")
+    print()
+    rows = [a.as_row() for a in report.attributions]
+    print(format_table(rows, title="step-time attribution (per rank)"))
+    print(f"conservation:   components sum to step time within "
+          f"{report.max_conservation_error:.2e} relative error")
+    print()
+    if report.stream_rows:
+        print(format_table(list(report.stream_rows),
+                           title="CUDA stream lanes"))
+        print()
+    if report.link_rows:
+        print(format_table(list(report.link_rows),
+                           title="per-stream link utilisation"))
+        print()
+    written = write_artifacts(args.out, report.obs.registry,
+                              report.obs.timeline)
+    for name, path in sorted(written.items()):
+        print(f"wrote {name}: {path}")
+    return 0
+
+
 def main(argv: t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -362,6 +423,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "tune": cmd_tune,
         "translate": cmd_translate,
         "faults": cmd_faults,
+        "report": cmd_report,
     }
     try:
         return handlers[args.command](args)

@@ -19,6 +19,7 @@ import typing as t
 
 from repro.errors import CollectiveError
 from repro.collectives.cost_model import ring_volume_bytes
+from repro.obs import Observability
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.network import FluidNetwork, Link
@@ -52,11 +53,23 @@ class TimedCollectives:
 
     def __init__(self, sim: Simulator, network: FluidNetwork,
                  cluster: Cluster, trace: Trace | None = None,
-                 representative: bool | None = None) -> None:
+                 representative: bool | None = None,
+                 obs: Observability | None = None) -> None:
         self.sim = sim
         self.network = network
         self.cluster = cluster
         self.trace = trace or Trace(enabled=False)
+        #: Observability sink for collective telemetry.
+        self.obs = obs or Observability.disabled()
+        registry = self.obs.registry
+        self._m_allreduce = registry.counter(
+            "allreduce_total", "Completed timed all-reduces")
+        self._m_allreduce_bytes = registry.histogram(
+            "allreduce_bytes", "Payload size of timed all-reduces",
+            buckets=(1e6, 4e6, 16e6, 64e6, 256e6, 1e9))
+        self._m_allreduce_seconds = registry.histogram(
+            "allreduce_seconds", "Wall-clock duration of timed all-reduces",
+            buckets=(1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0))
         if representative is None:
             representative = cluster.is_symmetric
         if representative and not cluster.is_symmetric:
@@ -127,6 +140,11 @@ class TimedCollectives:
                                 bytes=size_bytes, algorithm=algorithm)
             self.trace.incr("allreduce.count")
             self.trace.incr("allreduce.bytes", size_bytes)
+            self._m_allreduce.inc(algorithm=algorithm)
+            self._m_allreduce_bytes.observe(size_bytes,
+                                            algorithm=algorithm)
+            self._m_allreduce_seconds.observe(duration,
+                                              algorithm=algorithm)
             done.succeed(duration)
 
         inner.add_callback(_finish)

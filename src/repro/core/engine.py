@@ -58,6 +58,9 @@ class AIACCBackend(DDLBackend):
         #: Processes this iteration spawned that are still running;
         #: :meth:`abort` interrupts them on a confirmed peer death.
         self._inflight: set[Process] = set()
+        #: Step index of the representative worker's timeline (-1 until
+        #: the first iteration runs).
+        self._step = -1
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -80,7 +83,21 @@ class AIACCBackend(DDLBackend):
             # batches leave more SMs for communication streams.
             ctx.effective_occupancy,
             setup_latency_s=ctx.cluster.spec.transport.setup_latency_s,
+            obs=ctx.obs,
         )
+        registry = ctx.obs.registry
+        self._m_gradients = registry.counter(
+            "aiacc_gradients_total", "Gradients pushed by the framework")
+        self._m_sync_rounds = registry.counter(
+            "aiacc_sync_rounds_total",
+            "Decentralized readiness synchronization rounds")
+        self._m_units = registry.counter(
+            "aiacc_units_total", "All-reduce units packed and launched")
+        self._m_unit_bytes = registry.histogram(
+            "aiacc_unit_bytes", "Wire size of packed all-reduce units",
+            buckets=(1e6, 4e6, 16e6, 64e6, 256e6))
+        self._m_iterations = registry.counter(
+            "aiacc_iterations_total", "Completed training iterations")
         # The per-GPU MPI daemon is single-threaded: synchronization
         # relays and unit launches serialize through it (paper Fig. 4).
         self._daemon = Resource(ctx.sim, 1, name="mpi-daemon")
@@ -117,8 +134,14 @@ class AIACCBackend(DDLBackend):
         registry.reset_vector()
         packer = GradientPacker(self.config.granularity_bytes)
 
+        timeline = ctx.obs.timeline
+        self._step += 1
+        step = self._step
         start = ctx.sim.now
+        timeline.begin_step(0, step, start)
         yield ctx.sim.timeout(ctx.forward_time_s)
+        timeline.span("forward", "compute", 0, start, ctx.sim.now)
+        backward_start = ctx.sim.now
         pool.compute_started()
 
         gradients = Store(ctx.sim, name="aiacc.gradients")
@@ -139,6 +162,7 @@ class AIACCBackend(DDLBackend):
             batch.append((grad_id, size))
             batch_bytes += size
             ctx.trace.incr("aiacc.gradients")
+            self._m_gradients.inc()
             if batch_bytes >= self.config.granularity_bytes:
                 dispatch_processes.append(self._track(ctx.sim.spawn(
                     self._dispatch(ctx, packer, batch, unit_processes),
@@ -147,6 +171,7 @@ class AIACCBackend(DDLBackend):
                 batch_bytes = 0.0
 
         pool.compute_finished()
+        timeline.span("backward", "compute", 0, backward_start, ctx.sim.now)
         if batch:
             dispatch_processes.append(self._track(ctx.sim.spawn(
                 self._dispatch(ctx, packer, batch, unit_processes),
@@ -167,7 +192,11 @@ class AIACCBackend(DDLBackend):
             self._checker.check_idle(
                 t.cast(Resource, self._daemon), rank=0)
 
+        apply_start = ctx.sim.now
         yield ctx.sim.timeout(UPDATE_TIME_S)
+        timeline.span("apply", "apply", 0, apply_start, ctx.sim.now)
+        timeline.end_step(0, step, ctx.sim.now)
+        self._m_iterations.inc()
         return IterationStats(
             iteration_time_s=ctx.sim.now - start,
             compute_time_s=ctx.compute_time_s,
@@ -256,7 +285,10 @@ class AIACCBackend(DDLBackend):
                 daemon.release()
             raise
         try:
+            service_start = ctx.sim.now
             yield ctx.sim.timeout(service)
+            ctx.obs.timeline.span("pack+launch", "pack", 0, service_start,
+                                  ctx.sim.now, units=len(units))
         finally:
             daemon.release()
 
@@ -265,6 +297,7 @@ class AIACCBackend(DDLBackend):
         # failure detector: a missed round means suspicion.
         payload = max(1.0, len(t.cast(GradientRegistry,
                                       self._registry).sync_vector) / 8.0)
+        negotiate_start = ctx.sim.now
         if self.config.sync_timeout_s is None:
             yield ctx.collectives.control_roundtrip(payload_bytes=payload)
         else:
@@ -273,8 +306,15 @@ class AIACCBackend(DDLBackend):
                 lambda: ctx.collectives.control_roundtrip(
                     payload_bytes=payload),
                 phase="sync", timeout_s=self.config.sync_timeout_s)
+        ctx.obs.timeline.span("sync-round", "negotiate", 0,
+                              negotiate_start, ctx.sim.now,
+                              payload_bytes=payload)
         ctx.trace.incr("aiacc.sync_rounds")
         ctx.trace.incr("aiacc.units", len(units))
+        self._m_sync_rounds.inc()
+        self._m_units.inc(len(units))
+        for unit in units:
+            self._m_unit_bytes.observe(unit.nbytes)
 
         # A hierarchical unit occupies one CUDA stream per local GPU for
         # its phase-2 parallel rings; a flat-ring unit occupies one.
@@ -291,15 +331,22 @@ class AIACCBackend(DDLBackend):
                 # GPU memory; over TCP it is staged through CPU memory.
                 staging = ctx.staging_time_s(nbytes)
                 if staging:
+                    staging_start = ctx.sim.now
                     yield ctx.sim.timeout(staging)
+                    ctx.obs.timeline.span("staging", "staging", 0,
+                                          staging_start, ctx.sim.now,
+                                          bytes=nbytes)
                 if self.config.unit_timeout_s is None:
                     result = yield ctx.sim.spawn(
-                        pool.run_unit(do_work, streams=streams_per_unit))
+                        pool.run_unit(do_work, streams=streams_per_unit,
+                                      label="allreduce-unit", bytes=nbytes))
                     return result
 
                 def launch() -> Process:
                     return self._track(ctx.sim.spawn(
-                        pool.run_unit(do_work, streams=streams_per_unit)))
+                        pool.run_unit(do_work, streams=streams_per_unit,
+                                      label="allreduce-unit",
+                                      bytes=nbytes)))
 
                 def abandon(runner: Process) -> None:
                     # Free the hung attempt's streams before retrying.

@@ -25,6 +25,7 @@ practical up to ~8 workers and a few million parameters.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import typing as t
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.core.registration import GradientRegistry
 from repro.core.runtime import AIACCConfig
 from repro.core.synchronization import DecentralizedSynchronizer
 from repro.models.base import ModelSpec
+from repro.obs import Observability
 from repro.sim.kernel import Simulator
 from repro.sim.mpi import Communicator
 from repro.sim.network import FluidNetwork
@@ -83,6 +85,7 @@ def run_message_level_iteration(
     compute_time_s: float = 0.0,
     seed: int = 0,
     check_invariants: bool = False,
+    obs: Observability | None = None,
 ) -> MessageLevelResult:
     """Execute one full AIACC iteration with real per-worker processes.
 
@@ -99,9 +102,12 @@ def run_message_level_iteration(
     """
     config = config or AIACCConfig()
     checking = check_invariants or config.check_invariants
+    obs = obs or Observability.disabled()
+    timeline = obs.timeline
     sim = Simulator(check_invariants=True if checking else None)
     checker = sim.invariants
     network = FluidNetwork(sim)
+    network.obs = obs if obs.enabled else None
     cluster = Cluster(sim, num_nodes,
                       NodeSpec(gpus_per_node=gpus_per_node))
     world = cluster.world_size
@@ -119,11 +125,15 @@ def run_message_level_iteration(
         registry.freeze()
         registries.append(registry)
     synchronizers = [
-        DecentralizedSynchronizer(sim, comm, rank, registries[rank])
+        DecentralizedSynchronizer(sim, comm, rank, registries[rank],
+                                  obs=obs)
         for rank in range(world)
     ]
     pools = [Resource(sim, config.num_streams, name=f"pool.r{rank}")
              for rank in range(world)]
+    # Per-rank free CUDA-stream ids, smallest-first so lane assignment is
+    # deterministic (mirrors :class:`repro.core.streams.CommStreamPool`).
+    stream_ids = [list(range(config.num_streams)) for _ in range(world)]
     packers = [GradientPacker(config.granularity_bytes)
                for _ in range(world)]
     shared = _SharedState()
@@ -159,11 +169,17 @@ def run_message_level_iteration(
                 pieces.append(grads[piece.grad_id][lo:hi])
             buffer = np.concatenate(pieces)
             yield pools[rank].acquire()
+            stream_id = heapq.heappop(stream_ids[rank])
+            granted_at = sim.now
             try:
                 out = yield sim.spawn(ring_allreduce_worker(
                     sim, comm, rank, buffer, op=ReduceOp.SUM,
                     tag_base=tag))
             finally:
+                heapq.heappush(stream_ids[rank], stream_id)
+                timeline.span("allreduce-unit", "network", rank,
+                              granted_at, sim.now, stream=stream_id,
+                              bytes=float(unit.nbytes))
                 pools[rank].release()
             out = t.cast(np.ndarray, out)
             cursor = 0
@@ -215,6 +231,7 @@ def run_message_level_iteration(
             done_event.succeed(None)
 
         # Backward pass: produce gradients on the schedule.
+        timeline.begin_step(rank, 0, sim.now)
         dispatch_procs = []
         previous_sync = None
         batch: list[tuple[int, float]] = []
@@ -224,7 +241,10 @@ def run_message_level_iteration(
         for event in model.backward_schedule():
             target_t = event.time_fraction * compute_time_s
             if target_t > elapsed:
+                segment_start = sim.now
                 yield sim.timeout(target_t - elapsed)
+                timeline.span("backward", "compute", rank,
+                              segment_start, sim.now)
                 elapsed = target_t
             for parameter in event.parameters:
                 gid = ids[parameter.name]
@@ -249,6 +269,7 @@ def run_message_level_iteration(
             yield sim.all_of(dispatch_procs)
         if unit_procs:
             yield sim.all_of(unit_procs)
+        timeline.end_step(rank, 0, sim.now)
         return reduced
 
     processes = [sim.spawn(worker(rank), name=f"worker{rank}")

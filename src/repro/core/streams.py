@@ -14,9 +14,11 @@ compute finishes.
 
 from __future__ import annotations
 
+import heapq
 import typing as t
 
 from repro.errors import ProcessInterrupt, ReproError
+from repro.obs import Observability
 from repro.sim.cuda import GPUDevice
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -28,13 +30,24 @@ class CommStreamPool:
 
     def __init__(self, sim: Simulator, gpu: GPUDevice, num_streams: int,
                  compute_occupancy: float,
-                 setup_latency_s: float = 0.0) -> None:
+                 setup_latency_s: float = 0.0,
+                 obs: Observability | None = None,
+                 rank: int = 0) -> None:
         if num_streams < 1:
             raise ReproError("num_streams must be >= 1")
         self.sim = sim
         self.gpu = gpu
         self.requested_streams = num_streams
         self.compute_occupancy = compute_occupancy
+        #: Observability sink for per-stream unit spans and metrics.
+        self.obs = obs or Observability.disabled()
+        #: Rank this pool's spans are attributed to (the timed engine
+        #: follows one representative worker, rank 0).
+        self.rank = rank
+        #: Free CUDA-stream indices, smallest-first so the same workload
+        #: lands units on the same lanes run after run.
+        self._free_ids = list(range(num_streams))
+        heapq.heapify(self._free_ids)
         #: Cost of creating *one* stream/communicator context — the
         #: constructor argument, kept under an unambiguous name (the
         #: argument used to be silently redefined from per-stream to
@@ -53,6 +66,12 @@ class CommStreamPool:
         #: request: a queued request cancelled by an interrupt never
         #: dispatched anything and must not inflate this metric).
         self.dispatched_units = 0
+        self._m_dispatched = self.obs.registry.counter(
+            "aiacc_dispatched_units_total",
+            "All-reduce units granted a CUDA stream")
+        self._m_in_flight = self.obs.registry.gauge(
+            "aiacc_streams_in_flight",
+            "CUDA stream slots currently held by units")
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -99,20 +118,31 @@ class CommStreamPool:
         def _count_grant(event: Event) -> None:
             if event.ok:
                 self.dispatched_units += 1
+                self._m_dispatched.inc(rank=self.rank)
+                self._m_in_flight.set(self._resource.in_use,
+                                      rank=self.rank)
 
         grant.add_callback(_count_grant)
         return grant
 
     def release(self, streams: int = 1) -> None:
         self._resource.release(streams)
+        self._m_in_flight.set(self._resource.in_use, rank=self.rank)
 
     def run_unit(self, work: t.Callable[[], Event],
-                 streams: int = 1) -> t.Generator:
+                 streams: int = 1, label: str = "unit",
+                 **span_meta: object) -> t.Generator:
         """Process generator: acquire stream(s), run ``work()``, release.
 
         ``streams`` > 1 models collectives that occupy several CUDA
         streams at once — the hierarchical all-reduce runs ``g`` parallel
         inter-node rings, one stream each (paper §V-B).
+
+        With observability attached, the unit's occupancy is recorded as
+        one timeline span per held CUDA stream (``label`` + ``span_meta``
+        under category ``network``), so the exported trace shows exactly
+        which lanes carried which unit — including units cut short by an
+        interrupt, which are flagged ``interrupted``.
 
         Interrupt-safe: an abort while queued withdraws the acquire
         request (no leaked grant to a dead process); an abort while
@@ -125,7 +155,20 @@ class CommStreamPool:
             if not self._resource.cancel(request):
                 self.release(streams)
             raise
+        held = [heapq.heappop(self._free_ids)
+                for _ in range(min(streams, len(self._free_ids)))]
+        granted_at = self.sim.now
+        interrupted = False
         try:
             yield work()
+        except ProcessInterrupt:
+            interrupted = True
+            raise
         finally:
+            timeline = self.obs.timeline
+            for stream_id in held:
+                heapq.heappush(self._free_ids, stream_id)
+                timeline.span(label, "network", self.rank, granted_at,
+                              self.sim.now, stream=stream_id,
+                              interrupted=interrupted, **span_meta)
             self.release(streams)

@@ -27,6 +27,7 @@ from repro.errors import SynchronizationError, SyncTimeoutError
 from repro.collectives.primitives import ReduceOp
 from repro.collectives.ring import ring_allreduce_worker
 from repro.core.registration import GradientRegistry
+from repro.obs import Observability
 from repro.sim.kernel import Simulator
 from repro.sim.mpi import Communicator
 
@@ -39,7 +40,8 @@ class DecentralizedSynchronizer:
     """Per-worker handle performing bit-vector min all-reduce rounds."""
 
     def __init__(self, sim: Simulator, comm: Communicator, rank: int,
-                 registry: GradientRegistry) -> None:
+                 registry: GradientRegistry,
+                 obs: Observability | None = None) -> None:
         if not registry.frozen:
             raise SynchronizationError(
                 "registry must be frozen before synchronization"
@@ -49,6 +51,11 @@ class DecentralizedSynchronizer:
         self.rank = rank
         self.registry = registry
         self._round = 0
+        #: Observability sink for negotiation spans/counters.
+        self.obs = obs or Observability.disabled()
+        self._m_rounds = self.obs.registry.counter(
+            "aiacc_sync_rounds_total",
+            "Decentralized readiness synchronization rounds")
 
     def sync_round(self, timeout_s: float | None = None) -> t.Generator:
         """Simulated-process generator for one synchronization round.
@@ -65,6 +72,7 @@ class DecentralizedSynchronizer:
         round_index = self._round
         tag_base = _SYNC_TAG_BASE + round_index * _SYNC_TAG_STRIDE
         self._round += 1
+        started_at = self.sim.now
         local = self.registry.sync_vector.copy()
         checker = getattr(self.sim, "invariants", None)
         worker = self.sim.spawn(ring_allreduce_worker(
@@ -93,6 +101,10 @@ class DecentralizedSynchronizer:
         if checker is not None:
             checker.report_sync_result(self.rank, round_index, len(mask),
                                        ready)
+        self.obs.timeline.span("sync-round", "negotiate", self.rank,
+                               started_at, self.sim.now,
+                               round=round_index, ready=len(ready))
+        self._m_rounds.inc(rank=self.rank)
         return ready
 
 

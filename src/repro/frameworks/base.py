@@ -27,6 +27,7 @@ import typing as t
 from repro.errors import TrainingError
 from repro.models.base import ModelSpec, ParameterSpec
 from repro.collectives.timed import TimedCollectives
+from repro.obs import Observability
 from repro.sim.kernel import Simulator
 from repro.sim.network import FluidNetwork
 from repro.sim.resources import Store
@@ -69,6 +70,10 @@ class TrainContext:
     #: e.g. the NVLink activation exchange of hybrid data+model
     #: parallelism (folded into the forward pass).
     extra_forward_time_s: float = 0.0
+    #: Metrics registry + step timeline; disabled by default so the
+    #: record calls on the hot path cost a single branch.
+    obs: Observability = dataclasses.field(
+        default_factory=Observability.disabled)
 
     def __post_init__(self) -> None:
         if self.batch_per_gpu < 1:

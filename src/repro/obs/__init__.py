@@ -1,0 +1,100 @@
+"""First-class observability: metrics, timelines, attribution, exporters.
+
+The paper's whole evaluation is an observability exercise —
+link-utilisation per stream (Fig. 3), scaling efficiency, negotiation
+overhead at scale, tuner convergence.  This package gives the runtime the
+instruments to *explain* its own throughput:
+
+- :class:`MetricsRegistry` — labelled counters/gauges/histograms with a
+  single-branch disabled path (:mod:`repro.obs.metrics`);
+- :class:`StepTimeline` — per-rank / per-stream span recorder with step
+  windows, instants and flow chains (:mod:`repro.obs.timeline`);
+- :func:`attribute_step` — critical-path attribution of each step to
+  compute / negotiate / network / straggler, summing to measured step
+  time (:mod:`repro.obs.critical_path`);
+- exporters — Perfetto/Chrome trace (pid = rank, tid = stream),
+  Prometheus text, streaming JSONL (:mod:`repro.obs.exporters`).
+
+:class:`Observability` bundles one registry + one timeline and is what
+the engines, the network model and the tuner accept.
+"""
+
+from repro.obs.critical_path import (
+    CATEGORY_MAP,
+    COMPONENTS,
+    StepAttribution,
+    attribute_all,
+    attribute_step,
+    attribute_window,
+)
+from repro.obs.exporters import (
+    chrome_trace_events,
+    jsonl_lines,
+    jsonl_records,
+    prometheus_text,
+    write_artifacts,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from repro.obs.timeline import (
+    NETWORK_RANK,
+    StepTimeline,
+    TimelineInstant,
+    TimelineSpan,
+)
+
+
+class Observability:
+    """One run's metrics registry + step timeline, enabled together."""
+
+    def __init__(self, enabled: bool = True,
+                 registry: MetricsRegistry | None = None,
+                 timeline: StepTimeline | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(enabled=enabled)
+        self.timeline = timeline if timeline is not None \
+            else StepTimeline(enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A no-op instance: every record call is one branch."""
+        return cls(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled or self.timeline.enabled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Observability {state}: {len(self.registry)} metrics, " \
+               f"{len(self.timeline.spans)} spans>"
+
+
+__all__ = [
+    "CATEGORY_MAP",
+    "COMPONENTS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NETWORK_RANK",
+    "Observability",
+    "StepAttribution",
+    "StepTimeline",
+    "TimelineInstant",
+    "TimelineSpan",
+    "attribute_all",
+    "attribute_step",
+    "attribute_window",
+    "chrome_trace_events",
+    "jsonl_lines",
+    "jsonl_records",
+    "prometheus_text",
+    "write_artifacts",
+]

@@ -1,0 +1,295 @@
+"""Exporters: Perfetto/Chrome trace events, Prometheus text, JSONL.
+
+All three render the same :class:`~repro.obs.metrics.MetricsRegistry` /
+:class:`~repro.obs.timeline.StepTimeline` pair:
+
+* :func:`chrome_trace_events` — Chrome trace-event JSON objects loadable
+  in Perfetto/``chrome://tracing``.  ``pid`` is the worker rank, ``tid``
+  is the CUDA stream (``1 + stream``) or a deterministically numbered
+  activity lane; flow events (``s``/``t``/``f``) connect fault-recovery
+  episodes and any other recorded chains.  Track naming uses metadata
+  (``M``) events, so the UI shows "rank 0 / stream 3", not bare ids.
+* :func:`prometheus_text` — the Prometheus text exposition format.
+* :func:`jsonl_lines` — one self-describing JSON object per line
+  (every line carries a ``kind`` field), suitable for streaming.
+
+:func:`write_artifacts` persists all three under a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.timeline import NETWORK_RANK, StepTimeline
+
+#: pid used for fabric-level (rank-less) records; far above any rank.
+NETWORK_PID = 1_000_000
+
+#: tid of the per-rank activity lane (phases not bound to a stream).
+ACTIVITY_TID = 0
+
+#: First tid handed to named lanes beyond the stream tracks.
+_LANE_TID_BASE = 64
+
+
+def _pid_of(rank: int) -> int:
+    return NETWORK_PID if rank == NETWORK_RANK else rank
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _args(meta: t.Mapping[str, object]) -> dict[str, object]:
+    return {key: _json_safe(value) for key, value in meta.items()}
+
+
+def chrome_trace_events(timeline: StepTimeline) -> list[dict]:
+    """Export the timeline as Chrome trace-event objects, sorted by ts.
+
+    Deterministic track layout per process (= rank):
+
+    - ``tid 0`` — activity lane: step markers, phases without a stream,
+      instants;
+    - ``tid 1 + k`` — CUDA stream ``k``;
+    - ``tid 64+`` — named lanes (e.g. network links), numbered by sorted
+      lane name so two runs of the same workload agree byte-for-byte.
+    """
+    events: list[dict] = []
+
+    # Collect lane names per pid for deterministic tid assignment.
+    lanes: dict[int, set[str]] = {}
+    streams: dict[int, set[int]] = {}
+
+    def _lane_tid(pid: int, span_stream: int | None,
+                  lane: object) -> tuple[int, str | None]:
+        if span_stream is not None:
+            streams.setdefault(pid, set()).add(span_stream)
+            return 1 + span_stream, None
+        if lane is None:
+            return ACTIVITY_TID, None
+        lanes.setdefault(pid, set()).add(str(lane))
+        return -1, str(lane)  # resolved after all lanes are known
+
+    pending: list[tuple[dict, int, str]] = []
+
+    for span in timeline.spans:
+        pid = _pid_of(span.rank)
+        tid, lane = _lane_tid(pid, span.stream, span.meta.get("lane"))
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": _args(span.meta),
+        }
+        events.append(event)
+        if lane is not None:
+            pending.append((event, pid, lane))
+
+    for rank, step, start, end in timeline.steps():
+        events.append({
+            "name": f"step {step}",
+            "cat": "step",
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": _pid_of(rank),
+            "tid": ACTIVITY_TID,
+            "args": {"step": step},
+        })
+
+    for instant in timeline.instants:
+        events.append({
+            "name": instant.name,
+            "cat": instant.cat,
+            "ph": "i",
+            "ts": instant.time * 1e6,
+            "pid": _pid_of(instant.rank),
+            "tid": ACTIVITY_TID,
+            "s": "p",
+            "args": _args(instant.meta),
+        })
+
+    _FLOW_PH = {"start": "s", "step": "t", "end": "f"}
+    for point in timeline.flow_points:
+        pid = _pid_of(point.rank)
+        event = {
+            "name": point.name,
+            "cat": "flow",
+            "ph": _FLOW_PH[point.phase],
+            "id": point.flow_id,
+            "ts": point.time * 1e6,
+            "pid": pid,
+            "tid": ACTIVITY_TID if point.stream is None
+            else 1 + point.stream,
+        }
+        if point.phase == "end":
+            event["bp"] = "e"
+        events.append(event)
+        if point.stream is not None:
+            streams.setdefault(pid, set()).add(point.stream)
+
+    # Resolve named-lane tids now that every lane is known.
+    lane_tids = {
+        pid: {name: _LANE_TID_BASE + index
+              for index, name in enumerate(sorted(names))}
+        for pid, names in lanes.items()
+    }
+    for event, pid, lane in pending:
+        event["tid"] = lane_tids[pid][lane]
+
+    # Track-naming metadata.
+    meta_events: list[dict] = []
+    pids = sorted({e["pid"] for e in events})
+    for pid in pids:
+        name = "network" if pid == NETWORK_PID else f"rank {pid}"
+        meta_events.append({"name": "process_name", "ph": "M", "ts": 0.0,
+                            "pid": pid, "tid": 0,
+                            "args": {"name": name}})
+        meta_events.append({"name": "thread_name", "ph": "M", "ts": 0.0,
+                            "pid": pid, "tid": ACTIVITY_TID,
+                            "args": {"name": "activity"}})
+        for stream in sorted(streams.get(pid, ())):
+            meta_events.append({"name": "thread_name", "ph": "M", "ts": 0.0,
+                                "pid": pid, "tid": 1 + stream,
+                                "args": {"name": f"stream {stream}"}})
+        for lane, tid in sorted(lane_tids.get(pid, {}).items()):
+            meta_events.append({"name": "thread_name", "ph": "M", "ts": 0.0,
+                                "pid": pid, "tid": tid,
+                                "args": {"name": lane}})
+
+    events.sort(key=lambda event: (event["ts"], event["pid"], event["tid"]))
+    return meta_events + events
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_labels(labels: t.Mapping[str, str],
+                   extra: t.Mapping[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{name}="{_escape_label(value)}"'
+                    for name, value in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels, state in metric.labelled():
+                cumulative = 0
+                for bound, count in zip(metric.buckets,
+                                        state.bucket_counts):
+                    cumulative += count
+                    label_str = _format_labels(labels,
+                                               {"le": _format_number(bound)})
+                    lines.append(f"{metric.name}_bucket{label_str} "
+                                 f"{cumulative}")
+                inf_labels = _format_labels(labels, {"le": "+Inf"})
+                lines.append(f"{metric.name}_bucket{inf_labels} "
+                             f"{state.count}")
+                plain = _format_labels(labels)
+                lines.append(f"{metric.name}_sum{plain} "
+                             f"{_format_number(state.sum)}")
+                lines.append(f"{metric.name}_count{plain} {state.count}")
+        else:
+            for labels, value in metric.labelled():
+                label_str = _format_labels(labels)
+                lines.append(f"{metric.name}{label_str} "
+                             f"{_format_number(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def jsonl_records(registry: MetricsRegistry | None,
+                  timeline: StepTimeline | None
+                  ) -> t.Iterator[dict[str, object]]:
+    """Yield every record as a self-describing dict (``kind`` field)."""
+    if registry is not None:
+        for metric in registry.collect():
+            if isinstance(metric, Histogram):
+                for labels, state in metric.labelled():
+                    yield {"kind": "histogram", "name": metric.name,
+                           "labels": labels,
+                           "buckets": list(metric.buckets),
+                           "bucket_counts": list(state.bucket_counts),
+                           "sum": state.sum, "count": state.count}
+            else:
+                for labels, value in metric.labelled():
+                    yield {"kind": metric.kind, "name": metric.name,
+                           "labels": labels, "value": value}
+    if timeline is not None:
+        for rank, step, start, end in timeline.steps():
+            yield {"kind": "step", "rank": rank, "step": step,
+                   "start_s": start, "end_s": end}
+        for span in timeline.spans:
+            yield {"kind": "span", "name": span.name, "cat": span.cat,
+                   "rank": span.rank, "stream": span.stream,
+                   "start_s": span.start, "end_s": span.end,
+                   "meta": _args(span.meta)}
+        for instant in timeline.instants:
+            yield {"kind": "instant", "name": instant.name,
+                   "cat": instant.cat, "rank": instant.rank,
+                   "time_s": instant.time, "meta": _args(instant.meta)}
+        for point in timeline.flow_points:
+            yield {"kind": "flow", "id": point.flow_id,
+                   "phase": point.phase, "name": point.name,
+                   "rank": point.rank, "stream": point.stream,
+                   "time_s": point.time}
+
+
+def jsonl_lines(registry: MetricsRegistry | None,
+                timeline: StepTimeline | None) -> t.Iterator[str]:
+    """Serialized JSONL stream of :func:`jsonl_records`."""
+    for record in jsonl_records(registry, timeline):
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_artifacts(directory: str | pathlib.Path,
+                    registry: MetricsRegistry | None = None,
+                    timeline: StepTimeline | None = None
+                    ) -> dict[str, pathlib.Path]:
+    """Write trace.json / metrics.prom / timeline.jsonl under a directory.
+
+    Returns ``{artifact_name: path}`` for whatever was written.
+    """
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: dict[str, pathlib.Path] = {}
+    if timeline is not None:
+        trace_path = out_dir / "trace.json"
+        trace_path.write_text(json.dumps(chrome_trace_events(timeline)))
+        written["trace"] = trace_path
+        jsonl_path = out_dir / "timeline.jsonl"
+        jsonl_path.write_text(
+            "\n".join(jsonl_lines(registry, timeline)) + "\n")
+        written["jsonl"] = jsonl_path
+    if registry is not None:
+        prom_path = out_dir / "metrics.prom"
+        prom_path.write_text(prometheus_text(registry))
+        written["prometheus"] = prom_path
+    return written

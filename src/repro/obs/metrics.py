@@ -1,0 +1,216 @@
+"""Labeled metrics registry: counters, gauges and histograms.
+
+The registry is the quantitative half of :mod:`repro.obs` (the
+:mod:`~repro.obs.timeline` is the temporal half).  Components create
+their metric handles once — at construction or warm-up — and record
+against the handle on the hot path.  Every record method starts with a
+single ``enabled`` branch, so a disabled registry costs one predictable
+comparison per call and nothing else: no label-key allocation, no dict
+lookup.
+
+Labels follow the Prometheus model: a metric name identifies a family,
+and each distinct label combination (``rank``, ``stream``, ``unit``,
+``technique``, ...) owns an independent sample.  Exporters render the
+same registry as Prometheus text or self-describing JSONL
+(:mod:`repro.obs.exporters`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import typing as t
+
+from repro.errors import ReproError
+
+#: Prometheus-compatible metric/label name charset.
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+#: A concrete label set, canonicalized to a sorted tuple of pairs.
+LabelKey = t.Tuple[t.Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds-ish decades; callers
+#: with byte-sized observations pass their own).
+DEFAULT_BUCKETS = (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0)
+
+
+def _label_key(labels: t.Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+class Metric:
+    """Base class: a named family of labelled samples."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "enabled", "samples")
+
+    def __init__(self, name: str, help: str = "", enabled: bool = True) -> None:
+        if not _NAME_RE.match(name):
+            raise ReproError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        #: Toggled by the owning registry; every record method checks
+        #: this exactly once before doing any work.
+        self.enabled = enabled
+        self.samples: dict[LabelKey, t.Any] = {}
+
+    def labelled(self) -> t.Iterator[tuple[dict[str, str], t.Any]]:
+        """Iterate ``(labels, value)`` pairs in first-recorded order."""
+        for key, value in self.samples.items():
+            yield dict(key), value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ({len(self.samples)})>"
+
+
+class Counter(Metric):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self.enabled:
+            return
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self.samples[key] = self.samples.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return float(self.samples.get(_label_key(labels), 0.0))
+
+
+class Gauge(Metric):
+    """A value that can move both ways per label set."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        self.samples[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        key = _label_key(labels)
+        self.samples[key] = self.samples.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return float(self.samples.get(_label_key(labels), 0.0))
+
+
+@dataclasses.dataclass
+class HistogramState:
+    """Cumulative distribution of one label set's observations."""
+
+    bucket_counts: list[int]
+    count: int = 0
+    sum: float = 0.0
+
+
+class Histogram(Metric):
+    """Bucketed distribution (Prometheus-style cumulative buckets)."""
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(self, name: str, help: str = "", enabled: bool = True,
+                 buckets: t.Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, enabled)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ReproError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        key = _label_key(labels)
+        state = self.samples.get(key)
+        if state is None:
+            state = HistogramState([0] * len(self.buckets))
+            self.samples[key] = state
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state.bucket_counts[index] += 1
+                break
+        state.count += 1
+        state.sum += value
+
+    def state(self, **labels: object) -> HistogramState | None:
+        return self.samples.get(_label_key(labels))
+
+
+class MetricsRegistry:
+    """Holds every metric of one run, in registration order.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers the family, later calls return the same handle (and
+    reject a kind mismatch).  Disabling the registry flips every
+    handle's ``enabled`` flag, so already-distributed handles go quiet
+    without their holders re-checking anything but their own single
+    branch.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._enabled = bool(enabled)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+        for metric in self._metrics.values():
+            metric.enabled = self._enabled
+
+    # -- family registration -------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return t.cast(Counter, self._get_or_create(Counter, name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return t.cast(Gauge, self._get_or_create(Gauge, name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: t.Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = Histogram(name, help, enabled=self._enabled,
+                               buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(existing, Histogram):
+            raise ReproError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        return existing
+
+    def _get_or_create(self, cls: type, name: str, help: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = t.cast(Metric, cls(name, help, enabled=self._enabled))
+            self._metrics[name] = metric
+            return metric
+        if type(existing) is not cls:
+            raise ReproError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        return existing
+
+    # -- inspection ----------------------------------------------------------
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def collect(self) -> t.Iterator[Metric]:
+        """Iterate every registered metric in registration order."""
+        yield from self._metrics.values()
+
+    def __len__(self) -> int:
+        return len(self._metrics)

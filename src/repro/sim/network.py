@@ -65,9 +65,9 @@ class Link:
 class Flow:
     """A single in-flight data transfer across one or more links."""
 
-    __slots__ = ("flow_id", "links", "remaining_bits", "rate_cap_bps",
-                 "rate_bps", "done", "started_at", "_last_update",
-                 "tail_latency_s")
+    __slots__ = ("flow_id", "links", "size_bits", "remaining_bits",
+                 "rate_cap_bps", "rate_bps", "done", "started_at",
+                 "_last_update", "tail_latency_s")
 
     _ids = itertools.count()
 
@@ -82,6 +82,7 @@ class Flow:
             raise NetworkError("flow rate cap must be positive when given")
         self.flow_id = next(Flow._ids)
         self.links = tuple(links)
+        self.size_bits = float(size_bits)
         self.remaining_bits = float(size_bits)
         self.rate_cap_bps = rate_cap_bps
         self.rate_bps = 0.0
@@ -115,6 +116,11 @@ class FluidNetwork:
         self._wakeup_token = 0
         #: Total bits delivered, for utilisation accounting.
         self.bits_delivered = 0.0
+        #: Optional :class:`repro.obs.Observability`; when attached,
+        #: every completed flow is recorded as a per-link timeline span
+        #: with its achieved rate and bottleneck utilisation (Fig. 3's
+        #: per-stream link-utilisation measurement), plus flow metrics.
+        self.obs = None
 
     # -- public API -------------------------------------------------------
 
@@ -245,7 +251,38 @@ class FluidNetwork:
                 link.flows.pop(flow, None)
             duration = self.sim.now - flow.started_at
             tail = flow.tail_latency_s
+            if self.obs is not None:
+                self._record_flow(flow, duration)
             self.sim._schedule_at(self.sim.now + tail, flow.done, duration + tail)
+
+    def _record_flow(self, flow: Flow, duration: float) -> None:
+        """Record one completed flow's telemetry (obs attached only)."""
+        bottleneck = min(flow.links, key=lambda link: link.capacity_bps)
+        rate = flow.size_bits / duration if duration > 0 \
+            else bottleneck.capacity_bps
+        utilisation = min(1.0, rate / bottleneck.capacity_bps)
+        obs = self.obs
+        from repro.obs.timeline import NETWORK_RANK
+
+        obs.timeline.span(
+            "flow", "net", NETWORK_RANK, flow.started_at, self.sim.now,
+            lane=bottleneck.name, bytes=flow.size_bits / 8.0,
+            rate_bps=rate, utilisation=utilisation,
+            capped=flow.rate_cap_bps is not None)
+        registry = obs.registry
+        registry.counter(
+            "network_flows_total",
+            "Completed flows per bottleneck link").inc(
+                link=bottleneck.name)
+        registry.counter(
+            "network_bytes_total",
+            "Bytes delivered per bottleneck link").inc(
+                flow.size_bits / 8.0, link=bottleneck.name)
+        registry.histogram(
+            "network_flow_utilisation",
+            "Per-flow achieved rate over bottleneck link capacity",
+            buckets=(0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9, 1.0)).observe(
+                utilisation, link=bottleneck.name)
 
     def _schedule_wakeup(self) -> None:
         """Schedule a kernel event at the earliest next flow completion."""

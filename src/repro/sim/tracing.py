@@ -12,6 +12,10 @@ import dataclasses
 import typing as t
 from collections import defaultdict
 
+#: First tid handed to activity lanes in the Chrome export (streams own
+#: tids ``1 + stream``; 0 is the instant/marker track).
+_LANE_TID_BASE = 64
+
 
 @dataclasses.dataclass(frozen=True)
 class Span:
@@ -39,6 +43,20 @@ class Trace:
         self.busy_time: dict[str, float] = defaultdict(float)
         self.counters: dict[str, float] = defaultdict(float)
         self.points: list[tuple[str, float, dict]] = []
+        #: Optional :class:`repro.obs.timeline.StepTimeline` receiving
+        #: fault-lifecycle events (see :meth:`attach_timeline`).
+        self.timeline = None
+
+    def attach_timeline(self, timeline) -> None:
+        """Forward fault-lifecycle events to an obs step timeline.
+
+        Wires the legacy :meth:`fault` hook — called throughout the
+        engine, the fault injector and the recovery driver — into
+        :meth:`repro.obs.timeline.StepTimeline.fault_event`, so recovery
+        episodes appear as instant + flow events in Perfetto next to the
+        rings they abort.
+        """
+        self.timeline = timeline
 
     def add_span(self, name: str, start: float, end: float,
                  **meta: object) -> None:
@@ -71,6 +89,8 @@ class Trace:
         """
         self.incr(f"aiacc.faults.{kind}")
         self.point(f"aiacc.fault.{kind}", time, **meta)
+        if self.timeline is not None and self.enabled:
+            self.timeline.fault_event(kind, time, **meta)
 
     def busy_fraction(self, name: str, total_time: float) -> float:
         """Fraction of ``total_time`` spent in activity ``name``."""
@@ -79,13 +99,20 @@ class Trace:
         return self.busy_time.get(name, 0.0) / total_time
 
     def merge(self, other: "Trace") -> None:
-        """Fold another trace's accumulators into this one."""
+        """Fold another trace's accumulators into this one.
+
+        Respects the destination's retention policy: spans and points
+        are only copied into a trace created with ``keep_spans=True``.
+        (Merging span-keeping traces into an aggregate-only one used to
+        silently grow unbounded memory on long merged runs.)
+        """
         for name, value in other.busy_time.items():
             self.busy_time[name] += value
         for name, value in other.counters.items():
             self.counters[name] += value
-        self.spans.extend(other.spans)
-        self.points.extend(other.points)
+        if self.keep_spans:
+            self.spans.extend(other.spans)
+            self.points.extend(other.points)
 
     def to_chrome_trace(self) -> list[dict]:
         """Export spans/points as Chrome trace-event JSON objects.
@@ -100,15 +127,27 @@ class Trace:
             raise ValueError(
                 "chrome export needs keep_spans=True at Trace creation"
             )
+        # Deterministic track mapping.  pid comes from the span's rank
+        # metadata; tid from its stream metadata (tid = 1 + stream) when
+        # present, else from the sorted order of activity names — stable
+        # across runs and independent of PYTHONHASHSEED, unlike the old
+        # ``abs(hash(name)) % 64`` scheme, which also collided tracks.
+        lane_names = sorted({span.name for span in self.spans
+                             if span.meta.get("stream") is None})
+        lane_tid = {name: _LANE_TID_BASE + index
+                    for index, name in enumerate(lane_names)}
         events: list[dict] = []
         for span in self.spans:
+            stream = span.meta.get("stream")
+            tid = 1 + int(t.cast(int, stream)) if stream is not None \
+                else lane_tid[span.name]
             events.append({
                 "name": span.name,
                 "ph": "X",
                 "ts": span.start * 1e6,
                 "dur": span.duration * 1e6,
-                "pid": 0,
-                "tid": abs(hash(span.name)) % 64,
+                "pid": int(t.cast(int, span.meta.get("rank", 0))),
+                "tid": tid,
                 "args": {key: repr(value)
                          for key, value in span.meta.items()},
             })
@@ -117,7 +156,7 @@ class Trace:
                 "name": name,
                 "ph": "i",
                 "ts": time * 1e6,
-                "pid": 0,
+                "pid": int(t.cast(int, meta.get("rank", 0))),
                 "tid": 0,
                 "s": "g",
                 "args": {key: repr(value) for key, value in meta.items()},

@@ -306,6 +306,7 @@ def run_fault_injected_training(
     trace: Trace | None = None,
     max_restarts: int = 8,
     check_invariants: bool = False,
+    obs: t.Any = None,
 ) -> FaultInjectionResult:
     """Train under an event-driven fault schedule and self-heal.
 
@@ -363,7 +364,7 @@ def run_fault_injected_training(
     ctx = build_train_context(
         spec, backend, num_gpus, batch, transport=transport,
         nic_bandwidth_bps=nic_bandwidth_bps, gpus_per_node=gpus_per_node,
-        trace=run_trace, representative=False)
+        trace=run_trace, representative=False, obs=obs)
     sim = ctx.sim
     injector = FaultInjector(sim, ctx.cluster, ctx.network, trace=run_trace)
     injector.arm(plan)
@@ -444,7 +445,7 @@ def run_fault_injected_training(
                 spec, backend, survivors * gpus_per_node, batch,
                 transport=transport, nic_bandwidth_bps=nic_bandwidth_bps,
                 gpus_per_node=gpus_per_node, trace=run_trace,
-                representative=False, sim=sim)
+                representative=False, sim=sim, obs=obs)
             injector.retarget(ctx.cluster, ctx.network)
             rewarm = sim.spawn(backend.warmup(ctx), name="rewarmup")
             sim.run(until=rewarm)

@@ -23,6 +23,7 @@ from repro.frameworks import make_backend
 from repro.frameworks.base import DDLBackend, IterationStats, TrainContext
 from repro.models.base import ModelSpec
 from repro.models.zoo import get_model
+from repro.obs import Observability
 from repro.sim.kernel import Simulator
 from repro.sim.network import FluidNetwork
 from repro.sim.tcp import TCP
@@ -85,6 +86,7 @@ def build_train_context(
     gpu_spec: t.Any = None,
     representative: bool | None = None,
     sim: Simulator | None = None,
+    obs: Observability | None = None,
 ) -> TrainContext:
     """Build a fresh simulator + cluster + network training context.
 
@@ -115,17 +117,24 @@ def build_train_context(
             nic_bandwidth_bps=nic_bandwidth_bps,
             gpus_per_node=gpus_per_node, gpu=gpu_spec or V100)
     run_trace = trace or Trace(enabled=True)
+    obs = obs or Observability.disabled()
+    # The fluid network only pays per-flow telemetry when something will
+    # read it; the fault hooks gain timeline instants the same way.
+    network.obs = obs if obs.enabled else None
+    run_trace.attach_timeline(obs.timeline)
     return TrainContext(
         sim=sim,
         network=network,
         cluster=cluster,
         collectives=TimedCollectives(sim, network, cluster, trace=run_trace,
-                                     representative=representative),
+                                     representative=representative,
+                                     obs=obs),
         model=spec,
         batch_per_gpu=batch_per_gpu,
         trace=run_trace,
         wire_dtype_bytes=_wire_bytes_of(backend),
         extra_forward_time_s=extra_forward_time_s,
+        obs=obs,
     )
 
 
@@ -144,6 +153,7 @@ def run_training(
     extra_forward_time_s: float = 0.0,
     congested_links: t.Mapping[int, float] | None = None,
     gpu_spec: t.Any = None,
+    obs: Observability | None = None,
 ) -> ThroughputResult:
     """Simulate distributed training and measure steady-state throughput.
 
@@ -184,6 +194,7 @@ def run_training(
         gpus_per_node=gpus_per_node, trace=trace,
         extra_forward_time_s=extra_forward_time_s,
         congested_links=congested_links, gpu_spec=gpu_spec,
+        obs=obs,
     )
     sim = ctx.sim
 

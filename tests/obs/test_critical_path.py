@@ -1,0 +1,111 @@
+"""Critical-path attribution: priorities, overlap, conservation."""
+
+import random
+
+import pytest
+
+from repro.obs import StepTimeline, attribute_all, attribute_step, \
+    attribute_window
+
+
+def make_timeline() -> StepTimeline:
+    timeline = StepTimeline()
+    timeline.begin_step(0, 0, 0.0)
+    timeline.end_step(0, 0, 10.0)
+    return timeline
+
+
+class TestPriorities:
+    def test_compute_wins_over_overlapping_network(self):
+        timeline = make_timeline()
+        timeline.span("backward", "compute", 0, 0.0, 6.0)
+        timeline.span("unit", "network", 0, 4.0, 8.0, stream=0)
+        attribution = attribute_step(timeline, 0, 0)
+        assert attribution.compute_s == pytest.approx(6.0)
+        # Only the exposed part of the network span is charged.
+        assert attribution.network_s == pytest.approx(2.0)
+        assert attribution.straggler_s == pytest.approx(2.0)
+
+    def test_negotiation_hidden_behind_compute_not_charged(self):
+        timeline = make_timeline()
+        timeline.span("backward", "compute", 0, 0.0, 10.0)
+        timeline.span("sync", "negotiate", 0, 2.0, 3.0)
+        attribution = attribute_step(timeline, 0, 0)
+        assert attribution.compute_s == pytest.approx(10.0)
+        assert attribution.negotiate_s == 0.0
+
+    def test_empty_window_is_all_straggler(self):
+        timeline = make_timeline()
+        attribution = attribute_step(timeline, 0, 0)
+        assert attribution.straggler_s == pytest.approx(10.0)
+
+    def test_pack_and_apply_count_as_compute(self):
+        timeline = make_timeline()
+        timeline.span("pack+launch", "pack", 0, 0.0, 1.0)
+        timeline.span("apply", "apply", 0, 9.0, 10.0)
+        attribution = attribute_step(timeline, 0, 0)
+        assert attribution.compute_s == pytest.approx(2.0)
+
+    def test_spans_clipped_to_window(self):
+        timeline = make_timeline()
+        timeline.span("backward", "compute", 0, -5.0, 5.0)
+        timeline.span("unit", "network", 0, 8.0, 20.0)
+        attribution = attribute_step(timeline, 0, 0)
+        assert attribution.compute_s == pytest.approx(5.0)
+        assert attribution.network_s == pytest.approx(2.0)
+
+    def test_other_ranks_ignored(self):
+        timeline = make_timeline()
+        timeline.span("backward", "compute", 1, 0.0, 10.0)
+        assert attribute_step(timeline, 0, 0).compute_s == 0.0
+
+
+class TestConservation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_span_soup_sums_to_step_time(self, seed):
+        rng = random.Random(seed)
+        timeline = make_timeline()
+        categories = ("compute", "pack", "negotiate", "network",
+                      "staging", "apply")
+        for _ in range(rng.randint(5, 60)):
+            start = rng.uniform(-2.0, 11.0)
+            end = start + rng.uniform(0.0, 5.0)
+            timeline.span("s", rng.choice(categories), 0, start, end)
+        attribution = attribute_step(timeline, 0, 0)
+        assert attribution.total_s == \
+            pytest.approx(attribution.step_time_s, rel=1e-6)
+        assert attribution.straggler_s >= 0.0
+
+    def test_components_never_negative(self):
+        timeline = make_timeline()
+        timeline.span("a", "compute", 0, 0.0, 10.0)
+        timeline.span("b", "network", 0, 0.0, 10.0)
+        attribution = attribute_step(timeline, 0, 0)
+        for value in (attribution.compute_s, attribution.negotiate_s,
+                      attribution.network_s, attribution.straggler_s):
+            assert value >= 0.0
+
+
+class TestHelpers:
+    def test_attribute_all_orders_by_step_then_rank(self):
+        timeline = StepTimeline()
+        for rank in (1, 0):
+            for step in (1, 0):
+                timeline.begin_step(rank, step, float(step))
+                timeline.end_step(rank, step, float(step) + 1.0)
+        rows = attribute_all(timeline)
+        assert [(a.step, a.rank) for a in rows] == \
+            [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_window_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            attribute_window(StepTimeline(), 0, 5.0, 1.0)
+
+    def test_as_row_is_milliseconds(self):
+        timeline = make_timeline()
+        timeline.span("backward", "compute", 0, 0.0, 10.0)
+        row = attribute_step(timeline, 0, 0).as_row()
+        assert row["step_ms"] == pytest.approx(10_000.0)
+        assert row["compute_ms"] == pytest.approx(10_000.0)

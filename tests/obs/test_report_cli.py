@@ -1,0 +1,127 @@
+"""End-to-end observability: instrumented runs, report, CLI artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.runtime import AIACCConfig
+from repro.models.synthetic import random_model_spec
+from repro.obs import Observability
+from repro.obs.report import build_step_report
+from repro.training.trainer import run_training
+
+
+def small_model(seed: int = 0, params: int = 400_000):
+    return random_model_spec(seed, num_layers=8,
+                             total_parameters=params,
+                             total_forward_flops=1e9,
+                             compute_occupancy=0.5)
+
+
+class TestInstrumentedTraining:
+    def test_timed_engine_records_phases_and_metrics(self):
+        obs = Observability(enabled=True)
+        run_training("resnet50", "aiacc", 16, measure_iterations=1,
+                     warmup_iterations=0, obs=obs)
+        categories = {s.cat for s in obs.timeline.spans}
+        assert {"compute", "pack", "negotiate", "network",
+                "apply"} <= categories
+        assert obs.registry.counter("aiacc_iterations_total").value() \
+            == 1.0
+        assert obs.registry.counter("aiacc_units_total").value() > 0
+        # Step window closed and attributable.
+        start, end = obs.timeline.step_window(0, 0)
+        assert end > start
+
+    def test_stream_spans_carry_lane_ids(self):
+        obs = Observability(enabled=True)
+        run_training("resnet50", "aiacc", 16, measure_iterations=1,
+                     warmup_iterations=0, obs=obs)
+        unit_spans = [s for s in obs.timeline.spans
+                      if s.name == "allreduce-unit"]
+        assert unit_spans
+        assert all(s.stream is not None for s in unit_spans)
+
+    def test_disabled_obs_records_nothing(self):
+        obs = Observability.disabled()
+        run_training("resnet50", "aiacc", 16, measure_iterations=1,
+                     warmup_iterations=0, obs=obs)
+        assert not obs.timeline.spans
+        assert len(obs.registry) > 0  # handles exist, all quiet
+        assert all(not m.samples for m in obs.registry.collect())
+
+    def test_default_obs_does_not_change_results(self):
+        baseline = run_training("resnet50", "aiacc", 16,
+                                measure_iterations=2, warmup_iterations=0)
+        observed = run_training("resnet50", "aiacc", 16,
+                                measure_iterations=2, warmup_iterations=0,
+                                obs=Observability(enabled=True))
+        assert baseline.iteration_times_s == observed.iteration_times_s
+
+
+class TestStepReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_step_report(model=small_model(), num_nodes=2,
+                                 gpus_per_node=1,
+                                 config=AIACCConfig(num_streams=4))
+
+    def test_attribution_sums_to_step_time(self, report):
+        assert report.attributions
+        assert report.max_conservation_error < 1e-6
+        for attribution in report.attributions:
+            assert attribution.total_s == \
+                pytest.approx(attribution.step_time_s, rel=1e-6)
+
+    def test_one_row_per_rank(self, report):
+        assert sorted(a.rank for a in report.attributions) == [0, 1]
+
+    def test_single_stream_tcp_utilisation_at_most_30_percent(self):
+        # Paper §III / Fig. 3: one TCP stream reaches ≤30% of the link.
+        report = build_step_report(model=small_model(), num_nodes=2,
+                                   gpus_per_node=1,
+                                   config=AIACCConfig(num_streams=1))
+        assert report.link_rows
+        for row in report.link_rows:
+            assert row["utilisation"] <= 0.30
+            assert row["capped"]
+
+    def test_stream_rows_cover_used_lanes(self, report):
+        ranks = {row["rank"] for row in report.stream_rows}
+        assert ranks == {0, 1}
+        assert all(row["units"] >= 1 for row in report.stream_rows)
+
+    def test_numeric_results_unaffected_by_instrumentation(self):
+        from repro.core.message_engine import run_message_level_iteration
+
+        spec = small_model()
+        bare = run_message_level_iteration(spec, num_nodes=2,
+                                           gpus_per_node=1)
+        instrumented = run_message_level_iteration(
+            spec, num_nodes=2, gpus_per_node=1,
+            obs=Observability(enabled=True))
+        assert bare.iteration_time_s == instrumented.iteration_time_s
+        for left, right in zip(bare.reduced, instrumented.reduced):
+            for name in left:
+                np.testing.assert_array_equal(left[name], right[name])
+
+
+class TestReportCli:
+    def test_report_command_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        code = main(["report", "--model", "resnet50", "--nodes", "2",
+                     "--gpus-per-node", "1", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "step-time attribution" in printed
+        assert "conservation" in printed
+        for name in ("trace.json", "metrics.prom", "timeline.jsonl"):
+            assert (out / name).exists(), name
+        trace = json.loads((out / "trace.json").read_text())
+        pids = {e["pid"] for e in trace if e["ph"] == "X"}
+        assert {0, 1} <= pids  # one Perfetto process per rank
+        prom = (out / "metrics.prom").read_text()
+        assert "aiacc_sync_rounds_total" in prom
+        assert "network_flow_utilisation_bucket" in prom

@@ -139,3 +139,51 @@ class TestChromeTraceExport:
         trace = Trace(enabled=True)
         with pytest.raises(ValueError):
             trace.add_span("x", 2.0, 1.0)
+
+    def test_track_mapping_is_deterministic(self):
+        # pid from rank metadata; tid = 1 + stream for stream-bound
+        # spans; other activities get sorted-name lane tids — no
+        # hash() anywhere, so the layout survives PYTHONHASHSEED.
+        trace = Trace(enabled=True, keep_spans=True)
+        trace.add_span("unit", 0.0, 1.0, rank=2, stream=3)
+        trace.add_span("compute", 0.0, 1.0, rank=2)
+        trace.add_span("allreduce", 0.5, 1.5, rank=1)
+        events = {e["name"]: e for e in trace.to_chrome_trace()}
+        assert events["unit"]["pid"] == 2
+        assert events["unit"]["tid"] == 4
+        # lane tids: sorted({"allreduce", "compute"}) -> 64, 65
+        assert events["allreduce"]["pid"] == 1
+        assert events["allreduce"]["tid"] == 64
+        assert events["compute"]["tid"] == 65
+
+    def test_same_activity_shares_one_track(self):
+        trace = Trace(enabled=True, keep_spans=True)
+        trace.add_span("allreduce", 0.0, 1.0)
+        trace.add_span("allreduce", 2.0, 3.0)
+        tids = {e["tid"] for e in trace.to_chrome_trace()}
+        assert len(tids) == 1
+
+
+class TestTraceMerge:
+    def test_merge_respects_destination_retention(self):
+        # Folding a span-keeping trace into an aggregate-only one must
+        # not smuggle spans past the destination's keep_spans=False.
+        src = Trace(enabled=True, keep_spans=True)
+        src.add_span("x", 0.0, 1.0)
+        src.point("p", 0.5)
+        dst = Trace(enabled=True, keep_spans=False)
+        dst.merge(src)
+        assert not dst.spans
+        assert not dst.points
+        assert dst.busy_time["x"] == pytest.approx(1.0)
+
+    def test_merge_into_keeping_trace_copies_spans(self):
+        src = Trace(enabled=True, keep_spans=True)
+        src.add_span("x", 0.0, 1.0)
+        src.point("p", 0.5)
+        src.incr("c", 2.0)
+        dst = Trace(enabled=True, keep_spans=True)
+        dst.merge(src)
+        assert len(dst.spans) == 1
+        assert len(dst.points) == 1
+        assert dst.counters["c"] == 2.0

@@ -38,14 +38,15 @@ class TestApiDocs:
         api = (ROOT / "docs" / "api.md").read_text()
         for package in ("repro.sim", "repro.collectives", "repro.models",
                         "repro.frameworks", "repro.core", "repro.autotune",
-                        "repro.training", "repro.harness"):
+                        "repro.training", "repro.harness", "repro.obs"):
             assert f"## `{package}`" in api, package
 
     def test_api_doc_in_sync_with_exports(self):
         # Every exported name must appear in the generated reference.
         api = (ROOT / "docs" / "api.md").read_text()
         missing = []
-        for package in ("repro.core", "repro.training", "repro.harness"):
+        for package in ("repro.core", "repro.training", "repro.harness",
+                        "repro.obs"):
             module = importlib.import_module(package)
             for name in module.__all__:
                 if f"`{name}`" not in api:
@@ -59,7 +60,7 @@ class TestPublicSurface:
     @pytest.mark.parametrize("package", [
         "repro.sim", "repro.collectives", "repro.models",
         "repro.frameworks", "repro.core", "repro.autotune",
-        "repro.training", "repro.harness",
+        "repro.training", "repro.harness", "repro.obs",
     ])
     def test_all_exports_resolve(self, package):
         module = importlib.import_module(package)
@@ -69,7 +70,7 @@ class TestPublicSurface:
     @pytest.mark.parametrize("package", [
         "repro.sim", "repro.collectives", "repro.models",
         "repro.frameworks", "repro.core", "repro.autotune",
-        "repro.training", "repro.harness",
+        "repro.training", "repro.harness", "repro.obs",
     ])
     def test_all_lists_sorted_unique(self, package):
         module = importlib.import_module(package)
