@@ -77,29 +77,42 @@ def ring_allreduce_worker(
             raise
         return incoming
 
+    # Chunk-count cap: a ring larger than the element count produces
+    # empty chunks (``chunk_bounds`` guarantees they only occur when
+    # ``n > len(work)``), and shipping them through the MPI layer costs
+    # two events per step per rank for a no-op reduction.  Every rank
+    # computes the same ``bounds``, so sender and receiver of an empty
+    # chunk skip it in lock-step agreement — the message count per phase
+    # is capped at ``min(n - 1, len(work))`` per rank while the reduced
+    # result stays bit-identical.
+
     # Phase 1: reduce-scatter.
     for step in range(n - 1):
         send_idx = (rank - step) % n
         recv_idx = (rank - step - 1) % n
         lo, hi = bounds[send_idx]
-        comm.send(rank, successor, work[lo:hi].copy(),
-                  nbytes=(hi - lo) * itemsize,
-                  tag=tag_base + step)
-        incoming = yield from _recv(tag_base + step)
+        if hi > lo:
+            comm.send(rank, successor, work[lo:hi].copy(),
+                      nbytes=(hi - lo) * itemsize,
+                      tag=tag_base + step)
         lo, hi = bounds[recv_idx]
-        work[lo:hi] = apply_op(op, work[lo:hi], incoming)
+        if hi > lo:
+            incoming = yield from _recv(tag_base + step)
+            work[lo:hi] = apply_op(op, work[lo:hi], incoming)
 
     # Phase 2: all-gather.
     for step in range(n - 1):
         send_idx = (rank - step + 1) % n
         recv_idx = (rank - step) % n
         lo, hi = bounds[send_idx]
-        comm.send(rank, successor, work[lo:hi].copy(),
-                  nbytes=(hi - lo) * itemsize,
-                  tag=tag_base + _TAG_STRIDE + step)
-        incoming = yield from _recv(tag_base + _TAG_STRIDE + step)
+        if hi > lo:
+            comm.send(rank, successor, work[lo:hi].copy(),
+                      nbytes=(hi - lo) * itemsize,
+                      tag=tag_base + _TAG_STRIDE + step)
         lo, hi = bounds[recv_idx]
-        work[lo:hi] = incoming
+        if hi > lo:
+            incoming = yield from _recv(tag_base + _TAG_STRIDE + step)
+            work[lo:hi] = incoming
 
     return finalize_op(op, work, n)
 

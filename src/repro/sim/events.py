@@ -24,6 +24,25 @@ Callback = t.Callable[["Event"], None]
 #: Sentinel used for "not yet triggered" values.
 _PENDING = object()
 
+#: Memoized ``timeout(<delay:g>)`` labels.  Simulated workloads reuse a
+#: small set of distinct delays (per-hop latencies, retry backoffs, layer
+#: compute times) thousands of times per step, and ``%g`` formatting per
+#: Timeout shows up in kernel profiles.  The cached string is identical
+#: to the formatted one, so event names — and replay digests — are
+#: unchanged.  Bounded so adversarial delay sequences cannot grow it.
+_TIMEOUT_NAMES: dict[float, str] = {}
+_TIMEOUT_NAMES_MAX = 4096
+
+
+def _timeout_name(delay: float) -> str:
+    name = _TIMEOUT_NAMES.get(delay)
+    if name is None:
+        name = f"timeout({delay:g})"
+        if len(_TIMEOUT_NAMES) >= _TIMEOUT_NAMES_MAX:
+            _TIMEOUT_NAMES.clear()
+        _TIMEOUT_NAMES[delay] = name
+    return name
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -93,6 +112,21 @@ class Event:
 
     # -- observer registration ----------------------------------------------
 
+    def _reset_for_reuse(self) -> None:
+        """Return a fired event to the untriggered state (object pooling).
+
+        Strictly internal: only safe for events whose every reference is
+        owned by the caller — the network's wakeup timers qualify (they
+        are never yielded to processes, and each one is popped from the
+        kernel heap exactly once before it is recycled).  Pooling them
+        cuts one allocation per rate reallocation off the hot path; the
+        recycled event is observationally identical to a fresh one, so
+        replay digests are unchanged.
+        """
+        self._value = _PENDING
+        self._ok = True
+        self.callbacks = []
+
     def add_callback(self, callback: Callback) -> None:
         """Invoke ``callback(event)`` when the event triggers.
 
@@ -119,7 +153,7 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay:g})")
+        super().__init__(sim, name=name or _timeout_name(delay))
         self.delay = delay
         sim._schedule_at(sim.now + delay, self, value)
 

@@ -11,6 +11,27 @@ efficiency limit of the transport protocol.  Whenever a flow starts or
 finishes, the allocation is recomputed and every in-flight flow's progress
 is advanced.
 
+Scaling to 128–256-rank clusters relies on two hot-path properties:
+
+* **Incremental recomputation.**  A flow arrival/departure (or a capacity
+  change) only re-solves the *bottleneck component* it touches: the links
+  reachable from the changed links by hopping through shared flows.  In a
+  non-blocking fabric each NIC pair and each NVLink fabric is its own
+  component, so a 32-node cluster re-solves ~1/64th of the flow set per
+  event.  Component-local progressive filling performs the *identical*
+  floating-point operation sequence a from-scratch global solve would
+  (components never interact), so rates — and therefore event times and
+  replay digests — are bit-for-bit unchanged.
+  :func:`solve_rates_reference` keeps the from-scratch solver alive as the
+  oracle for the property-based equivalence tests.
+
+* **Weighted flows.**  ``start_flow(..., weight=k)`` models ``k``
+  identical transport streams as one flow: the flow counts ``k`` toward
+  every traversed link's load, receives ``k`` fair shares, and its
+  ``rate_cap_bps`` applies per stream.  The timed collectives use this to
+  aggregate the per-local-rank parallel rings of large hierarchical
+  all-reduces (identical rate trajectories) into one flow each.
+
 Capacities and rates are in **bits per second**, sizes in **bits**,
 consistent with the rest of :mod:`repro.sim` (time in seconds).
 """
@@ -41,7 +62,7 @@ class Link:
     uplink or an NVLink lane — anything whose capacity is shared by flows.
     """
 
-    __slots__ = ("name", "capacity_bps", "latency_s", "flows")
+    __slots__ = ("name", "capacity_bps", "latency_s", "flows", "load")
 
     def __init__(self, name: str, capacity_bps: float, latency_s: float = 0.0) -> None:
         if capacity_bps <= 0:
@@ -56,6 +77,11 @@ class Link:
         # run-to-run nondeterminism into rate assignment and completion
         # scheduling.
         self.flows: dict["Flow", None] = {}
+        #: Cached total stream weight of the flows on this link — the
+        #: water-filling load seed, maintained on flow add/remove so the
+        #: solver never rebuilds it from scratch.  Weights are integers,
+        #: so the cache is exact regardless of update order.
+        self.load: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         gbps = self.capacity_bps / 1e9
@@ -63,23 +89,32 @@ class Link:
 
 
 class Flow:
-    """A single in-flight data transfer across one or more links."""
+    """A single in-flight data transfer across one or more links.
+
+    ``weight`` models a bundle of identical transport streams: the flow
+    takes ``weight`` shares of every traversed link and its per-stream
+    rate cap scales accordingly (``rate_bps`` is the bundle total).
+    """
 
     __slots__ = ("flow_id", "links", "size_bits", "remaining_bits",
                  "rate_cap_bps", "rate_bps", "done", "started_at",
-                 "_last_update", "tail_latency_s")
+                 "_last_update", "tail_latency_s", "weight", "_finish_s")
 
     _ids = itertools.count()
 
     def __init__(self, links: t.Sequence[Link], size_bits: float,
                  rate_cap_bps: float | None, done: Event, now: float,
-                 tail_latency_s: float = 0.0) -> None:
+                 tail_latency_s: float = 0.0, weight: int = 1) -> None:
         if size_bits < 0:
             raise NetworkError(f"flow size must be non-negative, got {size_bits}")
         if not links:
             raise NetworkError("flow must traverse at least one link")
         if rate_cap_bps is not None and rate_cap_bps <= 0:
             raise NetworkError("flow rate cap must be positive when given")
+        if not isinstance(weight, int) or weight < 1:
+            raise NetworkError(
+                f"flow weight must be a positive integer, got {weight!r}"
+            )
         self.flow_id = next(Flow._ids)
         self.links = tuple(links)
         self.size_bits = float(size_bits)
@@ -90,10 +125,67 @@ class Flow:
         self.started_at = now
         self._last_update = now
         self.tail_latency_s = tail_latency_s
+        self.weight = weight
+        #: Cached seconds-to-completion at the current (rate, remaining);
+        #: ``inf`` while the rate is zero.  Kept equal to the division
+        #: ``remaining_bits / rate_bps`` the wakeup scan used to perform
+        #: per flow per event, so the scan degrades to a compare.
+        self._finish_s = math.inf
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Flow#{self.flow_id} {self.remaining_bits / 8e6:.2f}MB left "
-                f"@ {self.rate_bps / 1e9:.2f}Gbps>")
+                f"@ {self.rate_bps / 1e9:.2f}Gbps x{self.weight}>")
+
+
+def solve_rates_reference(flows: t.Iterable[Flow]) -> dict[Flow, float]:
+    """From-scratch global max-min fair allocation (the oracle solver).
+
+    This is the pre-incremental algorithm, kept verbatim (modulo weight
+    support) as the reference the property-based tests compare the
+    incremental solver against.  It does not mutate any flow; it returns
+    the rate every active flow *should* carry given the current link
+    capacities and memberships.
+    """
+    unassigned: dict[Flow, None] = dict.fromkeys(flows)
+    residual = {link: link.capacity_bps
+                for flow in unassigned for link in flow.links}
+    load = {link: 0 for link in residual}
+    for flow in unassigned:
+        for link in flow.links:
+            load[link] += flow.weight
+    rates: dict[Flow, float] = {}
+
+    def fix(flow: Flow, per_stream_rate: float) -> None:
+        rate = max(0.0, per_stream_rate)
+        rates[flow] = rate if flow.weight == 1 else rate * flow.weight
+        unassigned.pop(flow, None)
+        for link in flow.links:
+            residual[link] = max(0.0, residual[link] - rates[flow])
+            load[link] -= flow.weight
+
+    while unassigned:
+        share = math.inf
+        for link, cap in residual.items():
+            if load[link] > 0:
+                share = min(share, cap / load[link])
+        if share is math.inf:  # pragma: no cover - defensive
+            raise NetworkError("active flows traverse no loaded link")
+        capped = [f for f in unassigned
+                  if f.rate_cap_bps is not None
+                  and f.rate_cap_bps <= share * (1 + _EPS)]
+        if capped:
+            for flow in capped:
+                fix(flow, flow.rate_cap_bps)
+            continue
+        bottlenecked = [
+            f for f in unassigned
+            if any(load[l] > 0
+                   and residual[l] / load[l] <= share * (1 + _EPS)
+                   for l in f.links)
+        ]
+        for flow in bottlenecked:
+            fix(flow, share)
+    return rates
 
 
 class FluidNetwork:
@@ -112,10 +204,33 @@ class FluidNetwork:
         # must visit flows in creation order so that identical runs
         # schedule identical event sequences.
         self.flows: dict[Flow, None] = {}
+        #: Links whose flow membership or capacity changed since the last
+        #: rate assignment; the solver re-solves only the components
+        #: reachable from these (insertion-ordered for reproducibility).
+        self._dirty_links: dict[Link, None] = {}
         #: Monotonic token used to invalidate stale wakeup events.
         self._wakeup_token = 0
+        #: Clock value of the last progress advance; lets same-instant
+        #: re-advances (batched arrivals) skip the flow scan.
+        self._progress_time = -1.0
+        #: Raised when some flow may have crossed the completion
+        #: threshold; gates the completion sweep in
+        #: :meth:`_complete_finished`.
+        self._maybe_finished = False
+        #: Recycled wakeup :class:`Event` slots.  A wakeup is scheduled on
+        #: every reallocation and most are superseded before firing; each
+        #: is popped from the kernel heap exactly once and never escapes
+        #: this class, so the object can be reset and reused instead of
+        #: allocated fresh (see :meth:`Event._reset_for_reuse`).
+        self._wakeup_pool: list[Event] = []
         #: Total bits delivered, for utilisation accounting.
         self.bits_delivered = 0.0
+        #: Solver work counters (observability / benchmark forensics):
+        #: rate assignments performed, and flows visited doing them.  A
+        #: from-scratch solver visits ``len(self.flows)`` per event; the
+        #: incremental solver visits only the dirty components.
+        self.reallocations = 0
+        self.solver_flow_visits = 0
         #: Optional :class:`repro.obs.Observability`; when attached,
         #: every completed flow is recorded as a per-link timeline span
         #: with its achieved rate and bottleneck utilisation (Fig. 3's
@@ -126,8 +241,13 @@ class FluidNetwork:
 
     def start_flow(self, links: t.Sequence[Link], size_bytes: float,
                    rate_cap_bps: float | None = None,
-                   extra_delay_s: float = 0.0) -> Event:
+                   extra_delay_s: float = 0.0,
+                   weight: int = 1) -> Event:
         """Begin transferring ``size_bytes`` across ``links``.
+
+        ``weight`` bundles that many identical transport streams into one
+        flow (see :class:`Flow`); ``size_bytes`` is the bundle total and
+        ``rate_cap_bps`` stays per stream.
 
         Returns an event that triggers when the last byte has drained plus
         the sum of the link latencies plus ``extra_delay_s``.  The event's
@@ -141,13 +261,65 @@ class FluidNetwork:
             self.sim._schedule_at(self.sim.now + latency, done, latency)
             return done
         flow = Flow(links, size_bytes * 8.0, rate_cap_bps, done, self.sim.now,
-                    tail_latency_s=latency)
+                    tail_latency_s=latency, weight=weight)
         self._advance_progress()
+        if flow.remaining_bits <= _COMPLETE_BITS:
+            self._maybe_finished = True
         self.flows[flow] = None
+        dirty = self._dirty_links
         for link in flow.links:
             link.flows[flow] = None
+            link.load += weight
+            dirty[link] = None
         self._reallocate()
         return done
+
+    def start_flows(self, requests: t.Sequence[tuple[
+            t.Sequence[Link], float, float | None, int]]) -> list[Event]:
+        """Begin several transfers arriving at the same instant.
+
+        ``requests`` is a sequence of ``(links, size_bytes, rate_cap_bps,
+        weight)`` tuples.  Semantically identical to calling
+        :meth:`start_flow` once per request — max-min rates are a pure
+        function of the resulting flow set, and no simulated time passes
+        between same-instant arrivals — but the allocator runs **once**
+        for the whole batch instead of once per flow.  Large collectives
+        use this to insert their per-hop flow fan-out (2·nodes flows per
+        ring unit at 128 ranks) without quadratic reallocation churn.
+
+        Note the event-schedule difference: per-flow insertion leaves one
+        superseded wakeup event per intermediate allocation in the kernel
+        heap, batch insertion does not.  Callers that must preserve a
+        historical replay digest keep using :meth:`start_flow` (see
+        ``AGGREGATE_MIN_FLOWS`` in :mod:`repro.collectives.timed`).
+        """
+        events: list[Event] = []
+        flows: list[Flow] = []
+        now = self.sim.now
+        for links, size_bytes, rate_cap_bps, weight in requests:
+            done = self.sim.event(name="flow.done")
+            events.append(done)
+            latency = sum(link.latency_s for link in links)
+            if size_bytes <= 0:
+                self.sim._schedule_at(now + latency, done, latency)
+                continue
+            flows.append(Flow(links, size_bytes * 8.0, rate_cap_bps, done,
+                              now, tail_latency_s=latency, weight=weight))
+        if not flows:
+            return events
+        self._advance_progress()
+        dirty = self._dirty_links
+        for flow in flows:
+            self.flows[flow] = None
+            if flow.remaining_bits <= _COMPLETE_BITS:
+                self._maybe_finished = True
+            weight = flow.weight
+            for link in flow.links:
+                link.flows[flow] = None
+                link.load += weight
+                dirty[link] = None
+        self._reallocate()
+        return events
 
     def utilization_of(self, link: Link) -> float:
         """Instantaneous fraction of ``link`` capacity currently in use."""
@@ -168,19 +340,37 @@ class FluidNetwork:
             )
         self._advance_progress()
         link.capacity_bps = float(capacity_bps)
+        self._dirty_links[link] = None
         self._reallocate()
 
     # -- engine -----------------------------------------------------------
 
     def _advance_progress(self) -> None:
-        """Debit every active flow for the time elapsed at its current rate."""
+        """Debit every active flow for the time elapsed at its current rate.
+
+        If the clock has not moved since the last advance, every flow's
+        ``_last_update`` already equals ``now`` (flows created since were
+        stamped with it), so the whole scan is a no-op and is skipped —
+        this is the common case for batched same-instant arrivals.
+        """
         now = self.sim.now
+        if now == self._progress_time:
+            return
+        self._progress_time = now
         for flow in self.flows:
             elapsed = now - flow._last_update
             if elapsed > 0 and flow.rate_bps > 0:
-                sent = min(flow.rate_bps * elapsed, flow.remaining_bits)
-                flow.remaining_bits -= sent
+                remaining = flow.remaining_bits
+                sent = flow.rate_bps * elapsed
+                if sent > remaining:
+                    sent = remaining
+                remaining -= sent
+                flow.remaining_bits = remaining
                 self.bits_delivered += sent
+                # Same division the wakeup scan used to redo per event.
+                flow._finish_s = remaining / flow.rate_bps
+                if remaining <= _COMPLETE_BITS:
+                    self._maybe_finished = True
             flow._last_update = now
 
     def _reallocate(self) -> None:
@@ -194,14 +384,84 @@ class FluidNetwork:
         self._schedule_wakeup()
 
     def _assign_rates(self) -> None:
-        """Progressive-filling max-min fair allocation with per-flow caps."""
-        unassigned = dict.fromkeys(self.flows)
-        residual = {link: link.capacity_bps
-                    for flow in unassigned for link in flow.links}
-        load = {link: 0 for link in residual}
+        """Incremental progressive-filling max-min fair allocation.
+
+        Only the components reachable from the dirty links are re-solved;
+        every other flow keeps its cached rate, which equals what a
+        from-scratch solve would assign (components are independent, and
+        component-local filling performs the identical float operations).
+        """
+        if not self._dirty_links:
+            return
+        self.reallocations += 1
+        dirty = self._dirty_links
+        self._dirty_links = {}
+        # Expand each dirty link to its bottleneck component — the links
+        # reachable by hopping through shared flows — and solve every
+        # component separately.  Components are independent by
+        # construction, so per-component filling performs the identical
+        # float operations a merged solve would, while each filling
+        # round scans only that component's links and flows (a batched
+        # ring fan-out dirties dozens of *disjoint* NIC-pair components
+        # at once; merging them would make every round quadratic).
+        links_seen: dict[Link, None] = {}
+        for start in dirty:
+            if start in links_seen:
+                continue
+            links_seen[start] = None
+            flows_seen: dict[Flow, None] = {}
+            frontier: list[Link] = [start]
+            while frontier:
+                link = frontier.pop()
+                for flow in link.flows:
+                    if flow in flows_seen:
+                        continue
+                    flows_seen[flow] = None
+                    for other in flow.links:
+                        if other not in links_seen:
+                            links_seen[other] = None
+                            frontier.append(other)
+            if flows_seen:
+                self.solver_flow_visits += len(flows_seen)
+                self._solve_component(flows_seen)
+
+    def _solve_component(self, flows_seen: dict[Flow, None]) -> None:
+        """Water-fill one bottleneck component (in flow-creation order)."""
+        if len(flows_seen) == 1:
+            # Fast path: a flow alone on its links (the common case on a
+            # non-blocking fabric, where every NIC pair is its own
+            # component).  Performs the same divisions/comparisons the
+            # general loop would — ``residual/load`` is
+            # ``capacity_bps / weight`` here — so rates are bit-equal.
+            (flow,) = flows_seen
+            weight = flow.weight
+            share = math.inf
+            for link in flow.links:
+                per_stream = link.capacity_bps / weight
+                if per_stream < share:
+                    share = per_stream
+            cap = flow.rate_cap_bps
+            if cap is not None and cap <= share * (1 + _EPS):
+                share = cap
+            rate = share if share > 0.0 else 0.0
+            if weight != 1:
+                rate *= weight
+            flow.rate_bps = rate
+            flow._finish_s = flow.remaining_bits / rate if rate > 0 \
+                else math.inf
+            return
+        # Global creation order makes the per-link arithmetic match a
+        # from-scratch global solve exactly.
+        component = sorted(flows_seen, key=lambda f: f.flow_id)
+        unassigned: dict[Flow, None] = dict.fromkeys(component)
+        residual: dict[Link, float] = {}
+        load: dict[Link, int] = {}
         for flow in unassigned:
             for link in flow.links:
-                load[link] += 1
+                if link not in residual:
+                    residual[link] = link.capacity_bps
+                    load[link] = link.load
+        fix_rate = self._fix_rate
 
         while unassigned:
             # Fair share currently offered by the most constrained link.
@@ -219,8 +479,8 @@ class FluidNetwork:
                       and f.rate_cap_bps <= share * (1 + _EPS)]
             if capped:
                 for flow in capped:
-                    self._fix_rate(flow, flow.rate_cap_bps, unassigned,
-                                   residual, load)
+                    fix_rate(flow, flow.rate_cap_bps, unassigned,
+                             residual, load)
                 continue
 
             # Otherwise freeze every flow crossing a bottleneck link.
@@ -231,24 +491,44 @@ class FluidNetwork:
                        for l in f.links)
             ]
             for flow in bottlenecked:
-                self._fix_rate(flow, share, unassigned, residual, load)
+                fix_rate(flow, share, unassigned, residual, load)
 
     @staticmethod
-    def _fix_rate(flow: Flow, rate: float, unassigned: dict[Flow, None],
+    def _fix_rate(flow: Flow, per_stream_rate: float,
+                  unassigned: dict[Flow, None],
                   residual: dict[Link, float], load: dict[Link, int]) -> None:
-        flow.rate_bps = max(0.0, rate)
+        rate = per_stream_rate if per_stream_rate > 0.0 else 0.0
+        if flow.weight != 1:
+            rate *= flow.weight
+        flow.rate_bps = rate
+        flow._finish_s = flow.remaining_bits / rate if rate > 0 else math.inf
         unassigned.pop(flow, None)
         for link in flow.links:
-            residual[link] = max(0.0, residual[link] - flow.rate_bps)
-            load[link] -= 1
+            left = residual[link] - rate
+            residual[link] = left if left > 0.0 else 0.0
+            load[link] -= flow.weight
 
     def _complete_finished(self) -> None:
-        """Fire completion events for flows that have fully drained."""
+        """Fire completion events for flows that have fully drained.
+
+        A flow can only cross the completion threshold inside
+        :meth:`_advance_progress` (or arrive already sub-threshold), and
+        both paths raise ``_maybe_finished`` — so when the flag is down
+        the full-flow-set scan is skipped entirely.
+        """
+        if not self._maybe_finished:
+            return
+        self._maybe_finished = False
         finished = [f for f in self.flows if f.remaining_bits <= _COMPLETE_BITS]
+        if not finished:
+            return
+        dirty = self._dirty_links
         for flow in finished:
             self.flows.pop(flow, None)
             for link in flow.links:
                 link.flows.pop(flow, None)
+                link.load -= flow.weight
+                dirty[link] = None
             duration = self.sim.now - flow.started_at
             tail = flow.tail_latency_s
             if self.obs is not None:
@@ -290,9 +570,9 @@ class FluidNetwork:
         token = self._wakeup_token
         next_finish = math.inf
         for flow in self.flows:
-            if flow.rate_bps > 0:
-                next_finish = min(next_finish,
-                                  flow.remaining_bits / flow.rate_bps)
+            finish = flow._finish_s
+            if finish < next_finish:
+                next_finish = finish
         if next_finish is math.inf:
             if self.flows:
                 raise NetworkError(
@@ -300,11 +580,16 @@ class FluidNetwork:
                     "(all rates are zero)"
                 )
             return
-        wakeup = self.sim.event(name="network.wakeup")
-        wakeup.add_callback(lambda _ev: self._on_wakeup(token))
+        if self._wakeup_pool:
+            wakeup = self._wakeup_pool.pop()
+            wakeup._reset_for_reuse()
+        else:
+            wakeup = self.sim.event(name="network.wakeup")
+        wakeup.add_callback(lambda ev: self._on_wakeup(token, ev))
         self.sim._schedule_at(self.sim.now + next_finish, wakeup, None)
 
-    def _on_wakeup(self, token: int) -> None:
+    def _on_wakeup(self, token: int, wakeup: Event) -> None:
+        self._wakeup_pool.append(wakeup)
         if token != self._wakeup_token:
             return  # a newer allocation superseded this wakeup
         self._advance_progress()

@@ -1,0 +1,151 @@
+"""Differential tests: simulated collectives vs the analytic cost model.
+
+The α–β closed forms in :mod:`repro.collectives.cost_model` and the
+flow-level simulation in :mod:`repro.collectives.timed` describe the same
+algorithms at different fidelities.  They will never agree exactly — the
+simulation models per-stream caps, link sharing, phase-sync overheads and
+per-hop latency that the closed forms only approximate — but they must
+stay inside a sanity band across the whole (ranks × payload) grid, and
+they must agree on *shape*: times grow with payload, hierarchical beats
+the flat ring on congested networks, and a faster NIC never makes a
+collective slower.
+
+A divergence here usually means a unit mix-up (bits/bytes), a missing
+``2(n-1)/n`` volume factor, or a topology path that silently stopped
+contending for the right links.
+"""
+
+import pytest
+
+from repro.collectives import TimedCollectives
+from repro.collectives.cost_model import (
+    CostParams,
+    broadcast_time_s,
+    hierarchical_allreduce_time_s,
+    ring_allreduce_time_s,
+)
+from repro.sim import FluidNetwork, Simulator, alibaba_v100_cluster
+
+RANKS = [4, 8, 16, 32, 64]
+PAYLOADS_BYTES = [16e6, 100e6]
+
+
+def make_context(num_gpus, **cluster_kwargs):
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    cluster = alibaba_v100_cluster(sim, num_gpus, **cluster_kwargs)
+    return sim, TimedCollectives(sim, net, cluster), cluster
+
+
+def analytic_params(cluster):
+    return CostParams(
+        world_size=cluster.world_size,
+        num_nodes=cluster.num_nodes,
+        nic_stream_bps=cluster.stream_cap_bps(),
+        nic_total_bps=cluster.nic_out[0].capacity_bps
+        if cluster.num_nodes > 1 else cluster.spec.nic_bandwidth_bps,
+        nvlink_bps=cluster.spec.gpu.nvlink_bps,
+        inter_alpha_s=cluster.spec.transport.per_message_overhead_s,
+    )
+
+
+class TestRingDifferential:
+    @pytest.mark.parametrize("ranks", RANKS)
+    @pytest.mark.parametrize("payload", PAYLOADS_BYTES)
+    def test_ring_within_band_of_closed_form(self, ranks, payload):
+        sim, timed, cluster = make_context(ranks)
+        done = timed.allreduce(payload, algorithm="ring")
+        sim.run(until=done)
+        analytic = ring_allreduce_time_s(payload, analytic_params(cluster))
+        assert sim.now == pytest.approx(analytic, rel=0.35), (
+            f"ring {ranks}r {payload / 1e6:.0f}MB: "
+            f"simulated {sim.now:.4f}s vs analytic {analytic:.4f}s"
+        )
+
+    @pytest.mark.parametrize("ranks", RANKS)
+    def test_ring_monotone_in_payload(self, ranks):
+        durations = []
+        for payload in (8e6, 32e6, 128e6):
+            sim, timed, _ = make_context(ranks)
+            done = timed.allreduce(payload, algorithm="ring")
+            sim.run(until=done)
+            durations.append(sim.now)
+        assert durations == sorted(durations)
+        # 16x the bytes must cost visibly more than 2x the time (the
+        # bandwidth term dominates at these sizes).
+        assert durations[-1] > durations[0] * 2
+
+
+class TestHierarchicalDifferential:
+    @pytest.mark.parametrize("ranks", [16, 32, 64])
+    @pytest.mark.parametrize("payload", PAYLOADS_BYTES)
+    def test_hierarchical_within_band_of_closed_form(self, ranks, payload):
+        sim, timed, cluster = make_context(ranks)
+        done = timed.allreduce(payload, algorithm="hierarchical")
+        sim.run(until=done)
+        analytic = hierarchical_allreduce_time_s(
+            payload, analytic_params(cluster))
+        # The simulation adds the per-phase device sync the closed form
+        # omits; widen the band by that fixed cost.
+        from repro.collectives.timed import HIERARCHICAL_PHASE_SYNC_S
+        analytic += 2 * HIERARCHICAL_PHASE_SYNC_S
+        assert sim.now == pytest.approx(analytic, rel=0.35), (
+            f"hierarchical {ranks}r {payload / 1e6:.0f}MB: "
+            f"simulated {sim.now:.4f}s vs analytic {analytic:.4f}s"
+        )
+
+    @pytest.mark.parametrize("ranks", [32, 64])
+    def test_algorithms_agree_on_congested_winner(self, ranks):
+        # Both the simulation and the closed forms must rank the
+        # hierarchical algorithm ahead of the flat ring once the NIC is
+        # the bottleneck (paper §VIII-D: hierarchical wins on congested
+        # links).  Congestion is modelled by a degraded NIC.
+        payload = 100e6
+        times = {}
+        for algorithm in ("ring", "hierarchical"):
+            sim, timed, cluster = make_context(
+                ranks, nic_bandwidth_bps=10e9)
+            done = timed.allreduce(payload, algorithm=algorithm)
+            sim.run(until=done)
+            times[algorithm] = sim.now
+        params = analytic_params(
+            make_context(ranks, nic_bandwidth_bps=10e9)[2])
+        assert times["hierarchical"] < times["ring"]
+        assert hierarchical_allreduce_time_s(payload, params) < \
+            ring_allreduce_time_s(payload, params)
+
+
+class TestBroadcastDifferential:
+    @pytest.mark.parametrize("ranks", [8, 32, 64])
+    def test_broadcast_within_band_of_closed_form(self, ranks):
+        payload = 50e6
+        sim, timed, cluster = make_context(ranks)
+        done = timed.broadcast(payload)
+        sim.run(until=done)
+        analytic = broadcast_time_s(payload, analytic_params(cluster))
+        assert sim.now == pytest.approx(analytic, rel=0.5), (
+            f"broadcast {ranks}r: simulated {sim.now:.4f}s "
+            f"vs analytic {analytic:.4f}s"
+        )
+
+
+class TestScalingSanity:
+    def test_faster_nic_never_slower(self):
+        durations = []
+        for nic in (10e9, 30e9, 100e9):
+            sim, timed, _ = make_context(32, nic_bandwidth_bps=nic)
+            done = timed.allreduce(100e6, algorithm="ring")
+            sim.run(until=done)
+            durations.append(sim.now)
+        assert durations == sorted(durations, reverse=True)
+
+    def test_ring_time_flat_in_world_size_at_fixed_payload(self):
+        # 2 S (n-1)/n per hop: hop volume saturates, so inter-node ring
+        # time should change by far less than world size does.
+        times = {}
+        for ranks in (16, 64):
+            sim, timed, _ = make_context(ranks)
+            done = timed.allreduce(100e6, algorithm="ring")
+            sim.run(until=done)
+            times[ranks] = sim.now
+        assert times[64] < times[16] * 2.5

@@ -255,7 +255,7 @@ class TestEngineDetection:
             crash_at_s=0.02)
         interrupted = backend.abort("rebuilding")
         assert interrupted >= 0
-        assert backend._inflight == set()
+        assert not backend._inflight
         # The simulator must stay consistent after the abort.
         ctx.sim.run(until=ctx.sim.timeout(1.0))
 

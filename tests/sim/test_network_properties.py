@@ -10,8 +10,20 @@ Invariants checked over randomly generated flow/link configurations:
    beat physics) and at most ``bytes / (capacity / k)`` for ``k``
    concurrent flows (max-min fairness guarantees a fair share);
 4. **work conservation** — a single uncapped flow on an idle link runs
-   at full capacity.
+   at full capacity;
+5. **incremental = oracle** — at every audited instant the incremental
+   (dirty-component) solver's cached rates equal what the from-scratch
+   :func:`~repro.sim.network.solve_rates_reference` solver would assign
+   to the same flow set, including under weights, caps, arrivals,
+   departures and mid-run capacity changes;
+6. **batching** — inserting a set of same-instant flows through
+   ``start_flows`` yields bit-identical completion times to inserting
+   them one ``start_flow`` at a time;
+7. **weights** — a ``weight=k`` bundle of total size ``S`` completes at
+   the same time as ``k`` parallel identical flows of size ``S/k``.
 """
+
+import math
 
 import numpy as np
 import pytest
@@ -19,6 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import FluidNetwork, Link, Simulator
+from repro.sim.network import solve_rates_reference
 
 
 @st.composite
@@ -124,6 +137,31 @@ class TestNetworkInvariants:
                                         rel=1e-6)
 
     @settings(max_examples=30, deadline=None)
+    @given(
+        k=st.integers(1, 6),
+        weight=st.integers(1, 8),
+        capped=st.booleans(),
+    )
+    def test_weighted_capacity_invariant(self, k, weight, capped):
+        # k weight-`weight` bundles sharing a link: the summed bundle
+        # rates never exceed capacity, and a capped bundle never exceeds
+        # cap x weight (the cap is per stream).
+        capacity = 1e9
+        cap = capacity / (k * weight * 2) if capped else None
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        link = Link("l", capacity)
+        done = [net.start_flow([link], 1e5, rate_cap_bps=cap, weight=weight)
+                for _ in range(k)]
+        used = sum(f.rate_bps for f in link.flows)
+        assert used <= capacity * (1 + 1e-6)
+        for flow in link.flows:
+            if cap is not None:
+                assert flow.rate_bps <= cap * weight * (1 + 1e-6)
+        sim.run(until=sim.all_of(done))
+        assert not link.flows
+
+    @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 10_000))
     def test_bytes_conserved(self, seed):
         rng = np.random.default_rng(seed)
@@ -135,3 +173,167 @@ class TestNetworkInvariants:
         sim.run(until=sim.all_of(flows))
         assert net.bits_delivered == pytest.approx(float(sizes.sum()) * 8,
                                                    rel=1e-9)
+
+
+@st.composite
+def weighted_scenarios(draw):
+    """Random multi-link workloads with weights, caps and arrival times."""
+    num_links = draw(st.integers(1, 4))
+    capacities = [draw(st.floats(1e8, 1e10)) for _ in range(num_links)]
+    num_flows = draw(st.integers(1, 8))
+    flows = []
+    for _ in range(num_flows):
+        links = sorted(draw(st.sets(st.integers(0, num_links - 1),
+                                    min_size=1, max_size=num_links)))
+        size = draw(st.floats(1e3, 1e7))
+        cap = draw(st.floats(1e7, 2e9)) if draw(st.booleans()) else None
+        weight = draw(st.integers(1, 4))
+        start = draw(st.floats(0, 0.3))
+        flows.append((links, size, cap, weight, start))
+    return capacities, flows
+
+
+class TestIncrementalSolverEquivalence:
+    """The dirty-component solver must agree with the from-scratch oracle.
+
+    ``solve_rates_reference`` is the pre-incremental global algorithm,
+    kept verbatim as the test oracle.  The incremental solver caches
+    rates across events and only re-solves dirtied components, so any
+    bug in dirty-link tracking, component expansion or cached state
+    shows up here as a stale (wrong) rate.
+    """
+
+    #: Near-ties *across* independent components may be resolved within
+    #: the solver's 1e-9 water-filling tolerance differently by the two
+    #: algorithms; anything beyond that is a genuine divergence.
+    REL_TOL = 1e-7
+
+    @settings(max_examples=50, deadline=None)
+    @given(scenario=weighted_scenarios())
+    def test_rates_match_reference_oracle(self, scenario):
+        capacities, flow_specs = scenario
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        links = [Link(f"l{i}", capacity)
+                 for i, capacity in enumerate(capacities)]
+
+        def starter(spec):
+            link_ids, size, cap, weight, start = spec
+
+            def process():
+                yield sim.timeout(start)
+                yield net.start_flow([links[i] for i in link_ids], size,
+                                     rate_cap_bps=cap, weight=weight)
+
+            return process()
+
+        processes = [sim.spawn(starter(spec)) for spec in flow_specs]
+
+        mismatches = []
+
+        def audit():
+            while True:
+                reference = solve_rates_reference(net.flows)
+                for flow, want in reference.items():
+                    got = flow.rate_bps
+                    if not math.isclose(got, want, rel_tol=self.REL_TOL,
+                                        abs_tol=1e-3):
+                        mismatches.append((flow.flow_id, got, want))
+                yield sim.timeout(0.004)
+
+        sim.spawn(audit())
+        sim.run(until=sim.all_of(processes))
+        assert not mismatches
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=weighted_scenarios())
+    def test_rates_match_oracle_across_capacity_change(self, scenario):
+        capacities, flow_specs = scenario
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        links = [Link(f"l{i}", capacity)
+                 for i, capacity in enumerate(capacities)]
+
+        def starter(spec):
+            link_ids, size, cap, weight, start = spec
+
+            def process():
+                yield sim.timeout(start)
+                yield net.start_flow([links[i] for i in link_ids], size,
+                                     rate_cap_bps=cap, weight=weight)
+
+            return process()
+
+        processes = [sim.spawn(starter(spec)) for spec in flow_specs]
+
+        mismatches = []
+
+        def shrink_then_audit():
+            yield sim.timeout(0.01)
+            net.set_link_capacity(links[0], links[0].capacity_bps / 3)
+            while True:
+                reference = solve_rates_reference(net.flows)
+                for flow, want in reference.items():
+                    if not math.isclose(flow.rate_bps, want,
+                                        rel_tol=self.REL_TOL, abs_tol=1e-3):
+                        mismatches.append((flow.flow_id, flow.rate_bps, want))
+                yield sim.timeout(0.004)
+
+        sim.spawn(shrink_then_audit())
+        sim.run(until=sim.all_of(processes))
+        assert not mismatches
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=weighted_scenarios())
+    def test_batch_start_matches_sequential(self, scenario):
+        # start_flows must be semantically identical to a start_flow
+        # loop: same-instant arrivals, rates are a pure function of the
+        # final flow set, so completion times are bit-equal.
+        capacities, flow_specs = scenario
+
+        def run(batched):
+            sim = Simulator()
+            net = FluidNetwork(sim)
+            links = [Link(f"l{i}", capacity)
+                     for i, capacity in enumerate(capacities)]
+            requests = [([links[i] for i in link_ids], size, cap, weight)
+                        for link_ids, size, cap, weight, _ in flow_specs]
+            if batched:
+                done = net.start_flows(requests)
+            else:
+                done = [net.start_flow(l, s, rate_cap_bps=c, weight=w)
+                        for l, s, c, w in requests]
+            sim.run(until=sim.all_of(done))
+            return [event.value for event in done], sim.now
+
+        sequential, end_seq = run(batched=False)
+        batched, end_batch = run(batched=True)
+        assert sequential == batched
+        assert end_seq == end_batch
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        k=st.integers(2, 8),
+        size=st.floats(1e4, 1e7),
+        capped=st.booleans(),
+    )
+    def test_weighted_flow_equals_parallel_flows(self, k, size, capped):
+        # A weight-k bundle of total size S drains like k parallel flows
+        # of size S/k each: same aggregate rate, same completion time.
+        capacity = 1e9
+        cap = capacity / (2 * k) if capped else None
+
+        sim_a = Simulator()
+        net_a = FluidNetwork(sim_a)
+        link_a = Link("l", capacity)
+        done_a = net_a.start_flow([link_a], size, rate_cap_bps=cap,
+                                  weight=k)
+        sim_a.run(until=done_a)
+
+        sim_b = Simulator()
+        net_b = FluidNetwork(sim_b)
+        link_b = Link("l", capacity)
+        done_b = net_b.start_flows([([link_b], size / k, cap, 1)] * k)
+        sim_b.run(until=sim_b.all_of(done_b))
+
+        assert sim_a.now == pytest.approx(sim_b.now, rel=1e-9)

@@ -1,0 +1,96 @@
+"""Export pytest-benchmark results into the ``BENCH_simulator.json`` trajectory.
+
+``BENCH_simulator.json`` is the repo's committed perf trajectory: a list
+of labelled entries, each one run of ``benchmarks/test_simulator_perf.py``
+reduced to the numbers worth diffing — min/mean wall-clock seconds per
+simulated step, plus the scenario metadata the benchmark recorded.
+
+Usage (what the CI benchmark job runs)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_simulator_perf.py \
+        --benchmark-only -q --benchmark-json=results/benchmark_raw.json
+    python tools/bench_to_json.py results/benchmark_raw.json \
+        --out BENCH_simulator.json --label ci
+
+Re-running with an existing ``--label`` replaces that entry (so local
+iteration doesn't grow the file); a new label appends.  Entries are
+kept in insertion order — the trajectory reads top-to-bottom as
+oldest-to-newest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+#: Benchmark ids look like ``test_simulated_step_wall_clock[step-8r-4s]``.
+_SCENARIO_RE = re.compile(r"\[(?P<scenario>[^\]]+)\]$")
+
+
+def scenario_name(benchmark_name: str) -> str:
+    match = _SCENARIO_RE.search(benchmark_name)
+    return match.group("scenario") if match else benchmark_name
+
+
+def reduce_benchmarks(raw: dict) -> dict:
+    """Squash one pytest-benchmark JSON into a trajectory entry body."""
+    scenarios = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        extra = dict(bench.get("extra_info", {}))
+        scenarios[scenario_name(bench["name"])] = {
+            "wall_s_min": stats["min"],
+            "wall_s_mean": stats["mean"],
+            "rounds": stats["rounds"],
+            **extra,
+        }
+    if not scenarios:
+        raise SystemExit("no benchmarks found in the input JSON "
+                         "(did the run use --benchmark-only?)")
+    return {
+        "datetime": raw.get("datetime"),
+        "commit": (raw.get("commit_info") or {}).get("id"),
+        "scenarios": scenarios,
+    }
+
+
+def merge_entry(trajectory: list[dict], label: str, entry: dict) -> None:
+    """Replace the entry with ``label`` in place, or append."""
+    entry = {"label": label, **entry}
+    for index, existing in enumerate(trajectory):
+        if existing.get("label") == label:
+            trajectory[index] = entry
+            return
+    trajectory.append(entry)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Fold a pytest-benchmark JSON into BENCH_simulator.json")
+    parser.add_argument("input", type=pathlib.Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_simulator.json"))
+    parser.add_argument("--label", default="current",
+                        help="trajectory entry name (same label replaces)")
+    args = parser.parse_args(argv)
+
+    raw = json.loads(args.input.read_text())
+    trajectory: list[dict] = []
+    if args.out.exists():
+        trajectory = json.loads(args.out.read_text())
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{args.out} is not a trajectory list")
+    merge_entry(trajectory, args.label, reduce_benchmarks(raw))
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    gate = [s for e in trajectory for s in (e["scenarios"],)
+            if e["label"] == args.label]
+    print(f"{args.out}: updated entry {args.label!r} "
+          f"({len(gate[0])} scenarios)", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
