@@ -15,6 +15,11 @@ Commands
 ``faults``
     Inject node crashes into a simulated run and report the measured
     recovery trajectory (detection latency, rebuild time, goodput).
+``chaos``
+    Soak the elastic runtime under random schedules mixing crashes,
+    flaps, stragglers, clean leaves and joins: every seed must
+    terminate (complete or typed clean failure) with a deterministic
+    outcome digest across replays.
 ``report``
     Run one fully-instrumented iteration and emit the observability
     report: per-rank step-time attribution, per-stream lane usage,
@@ -113,6 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--trace-out", type=pathlib.Path, default=None,
                         help="write a Chrome trace JSON of the run")
     add_check_invariants(faults)
+
+    chaos = sub.add_parser(
+        "chaos", help="chaos soak: random crash/leave/join schedules")
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="number of random schedules (seeds 0..N-1)")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first seed of the sweep")
+    chaos.add_argument("--replays", type=int, default=2,
+                       help="replays per seed; outcome digests must match")
+    chaos.add_argument("--gpus", type=int, default=8)
+    chaos.add_argument("--gpus-per-node", type=int, default=2)
+    chaos.add_argument("--iterations", type=int, default=12)
+    chaos.add_argument("--mtbf", type=float, default=0.35,
+                       help="mean seconds between scheduled faults")
+    chaos.add_argument("--horizon", type=float, default=2.5,
+                       help="fault schedule horizon in simulated seconds")
+    chaos.add_argument("--jsonl", type=pathlib.Path, default=None,
+                       help="write the per-seed recovery/epoch timeline "
+                       "here (JSONL)")
 
     report = sub.add_parser(
         "report", help="step-time attribution report with trace artifacts")
@@ -362,6 +386,42 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import run_chaos_soak
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    report = run_chaos_soak(
+        seeds, replays=args.replays, jsonl_path=args.jsonl,
+        num_gpus=args.gpus, gpus_per_node=args.gpus_per_node,
+        total_iterations=args.iterations,
+        horizon_s=args.horizon, mtbf_s=args.mtbf)
+
+    print(f"seeds:           {args.seeds} "
+          f"({seeds.start}..{seeds.stop - 1}), "
+          f"{args.replays} replay(s) each")
+    print(f"completed:       {report.completed}")
+    print(f"clean failures:  {report.clean_failures}")
+    for kind, count in sorted(report.failure_kinds.items()):
+        print(f"  {kind}: {count}")
+    print()
+    for outcome in report.outcomes:
+        if outcome.completed:
+            detail = (f"world {outcome.final_world} epoch "
+                      f"{outcome.final_epoch} transitions "
+                      f"{outcome.epoch_transitions} recoveries "
+                      f"{outcome.recoveries} t={outcome.total_time_s:.2f}s")
+        else:
+            detail = f"{outcome.status}: {outcome.error}"
+        print(f"seed {outcome.seed:>3}  "
+              f"[{outcome.outcome_digest()[:12]}]  {detail}")
+    if args.jsonl is not None:
+        print(f"\nwrote {args.jsonl}")
+    # Typed clean failures are expected chaos outcomes; only a harness
+    # error (ReproError from run_chaos_soak itself) exits non-zero, via
+    # the ReproError handler in main().
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.runtime import AIACCConfig
     from repro.harness import format_table
@@ -423,6 +483,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "tune": cmd_tune,
         "translate": cmd_translate,
         "faults": cmd_faults,
+        "chaos": cmd_chaos,
         "report": cmd_report,
     }
     try:

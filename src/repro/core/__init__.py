@@ -15,12 +15,19 @@ Components (paper section in parentheses):
 - :mod:`repro.core.perseus` — the Horovod-compatible numeric API (§IV);
 - :mod:`repro.core.compression` — fp16 wire compression (§X);
 - :mod:`repro.core.fault_tolerance` — checkpoints and elasticity (§IV);
+- :mod:`repro.core.elastic` — epoch-based elastic membership:
+  scale-up/down at iteration boundaries (§IV);
 - :mod:`repro.core.debugging` — NaN attribution (§IV);
 - :mod:`repro.core.translator` — source-to-source porting tool (§IV).
 """
 
 from repro.core.compression import FP16Compressor, NullCompressor
 from repro.core.debugging import GradientDebugger, check_finite
+from repro.core.elastic import (
+    ElasticRuntime,
+    EpochTransition,
+    MembershipView,
+)
 from repro.core.engine import AIACCBackend
 from repro.core.fault_tolerance import CheckpointManager, ElasticCoordinator
 from repro.core.message_engine import (
@@ -52,6 +59,9 @@ __all__ = [
     "CommStreamPool",
     "DecentralizedSynchronizer",
     "ElasticCoordinator",
+    "ElasticRuntime",
+    "EpochTransition",
+    "MembershipView",
     "FP16Compressor",
     "GradientDebugger",
     "GradientPacker",

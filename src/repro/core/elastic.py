@@ -1,0 +1,340 @@
+"""Elastic membership runtime: epoch-based scale-up/down (paper §IV).
+
+"As a production library, AIACC-Training also provides ... elastic
+deployment by propagating training parameters into newly added computing
+nodes."  This module is the membership protocol behind that sentence.
+
+A worker group carries a monotonically increasing **membership epoch**.
+Epochs advance only at iteration boundaries, where the group is
+quiescent; each advance is one of three transitions:
+
+``scale-down``
+    One or more nodes announced a clean departure.  The survivors excise
+    them, re-form rings/streams over the smaller group and continue from
+    the **live** parameters — no checkpoint restore, no lost work.
+
+``scale-up``
+    New node identities are admitted.  The joiners receive rank 0's live
+    parameters through the pipelined broadcast of
+    :meth:`~repro.core.fault_tolerance.ElasticCoordinator.on_join`; the
+    runtime verifies all ranks came out bit-identical, rescales the
+    learning rate for the larger global batch (linear scaling rule) and
+    re-keys the auto-tuner's best-setting cache for the new topology.
+
+``failure``
+    A crash detected by the engine's failure detector.  The group
+    shrinks and restores from the last checkpoint — the pre-existing
+    recovery path, now also stamped with an epoch advance.
+
+:class:`ElasticRuntime` owns the current :class:`MembershipView` and the
+append-only log of :class:`EpochTransition` records; the recovery driver
+(:func:`repro.training.resilience.run_fault_injected_training`) calls
+into it at every boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.core.fault_tolerance import ElasticCoordinator, State
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.autotune.cache import SettingsCache
+    from repro.core.runtime import AIACCConfig
+    from repro.models.base import ModelSpec
+    from repro.sim.topology import Cluster
+
+#: Transition kinds an epoch advance may record.
+TRANSITION_KINDS = ("scale-down", "scale-up", "failure")
+
+
+@dataclasses.dataclass(frozen=True)
+class MembershipView:
+    """One epoch's worker group: which node identities participate.
+
+    ``members`` holds *original* node identities in cluster order — the
+    same identity space the fault injector plans against — so a node
+    that leaves at epoch 2 and rejoins at epoch 5 is recognisably the
+    same machine.
+    """
+
+    epoch: int
+    members: tuple[int, ...]
+    gpus_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise TrainingError("membership epoch must be >= 0")
+        if not self.members:
+            raise TrainingError("a worker group needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise TrainingError(f"duplicate members: {self.members}")
+        if self.gpus_per_node < 1:
+            raise TrainingError("gpus_per_node must be >= 1")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.members)
+
+    @property
+    def world_size(self) -> int:
+        """GPU workers in this epoch's group."""
+        return len(self.members) * self.gpus_per_node
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochTransition:
+    """Record of one membership-epoch boundary."""
+
+    #: Epoch *entered* by this transition.
+    epoch: int
+    #: Simulated time of the boundary.
+    at_s: float
+    #: One of :data:`TRANSITION_KINDS`.
+    kind: str
+    #: Original node identities excised at this boundary.
+    departed: tuple[int, ...]
+    #: Original node identities admitted at this boundary.
+    joined: tuple[int, ...]
+    world_before: int
+    world_after: int
+    #: True when training continued from the live parameters (clean
+    #: scale-down / scale-up); False when state restored from checkpoint.
+    live_continuation: bool
+    #: Whether the joiners' broadcast state was verified bit-identical
+    #: to rank 0's (``None`` when no broadcast happened).
+    broadcast_identical: bool | None
+    #: Iteration training resumed from after the boundary.
+    resumed_iteration: int
+    #: Linear-scaling-rule learning-rate multiplier for the new world
+    #: size, relative to the initial deployment.
+    lr_scale: float
+    #: Simulated seconds spent re-forming the group (communicator
+    #: rebuild, and for scale-up the live-parameter broadcast).
+    reconfigure_time_s: float
+    #: Label of the auto-tuner cache entry applied for the new topology,
+    #: when the tuner re-keyed its best-setting cache.
+    retuned: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRANSITION_KINDS:
+            raise TrainingError(
+                f"kind must be one of {TRANSITION_KINDS}, got {self.kind!r}")
+        if self.world_before < 1 or self.world_after < 1:
+            raise TrainingError("world sizes must be >= 1")
+        if self.reconfigure_time_s < 0:
+            raise TrainingError("reconfigure_time_s must be >= 0")
+
+
+class ElasticRuntime:
+    """Epoch bookkeeping + coordinator calls for the recovery driver.
+
+    Owns the current :class:`MembershipView`, the transition log, the
+    linear-scaling learning-rate rule and the tuner re-key on topology
+    change.  The driver remains responsible for the simulated-time costs
+    (reconfigure pauses) and for rebuilding the train context; this
+    class guarantees the *bookkeeping* is consistent: members stay
+    unique, epochs only move forward, the coordinator's live-worker
+    count tracks the view's world size.
+    """
+
+    def __init__(self, coordinator: ElasticCoordinator,
+                 members: t.Sequence[int], gpus_per_node: int,
+                 settings_cache: "SettingsCache | None" = None) -> None:
+        self.coordinator = coordinator
+        self.view = MembershipView(0, tuple(members), gpus_per_node)
+        self.settings_cache = settings_cache
+        #: World size of the initial deployment — the linear-scaling
+        #: rule's reference point.
+        self.initial_world_size = self.view.world_size
+        self.transitions: list[EpochTransition] = []
+        if coordinator.live_workers != self.view.world_size:
+            raise TrainingError(
+                f"coordinator tracks {coordinator.live_workers} workers "
+                f"but the membership view holds {self.view.world_size}")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.view.epoch
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return self.view.members
+
+    def lr_scale(self, world_size: int | None = None) -> float:
+        """Linear scaling rule multiplier for ``world_size`` workers.
+
+        Goyal et al.'s "linear scaling rule": when the global batch
+        grows k×, multiply the learning rate by k.  Relative to the
+        *initial* deployment so successive resizes compose.
+        """
+        world = self.view.world_size if world_size is None else world_size
+        if world < 1:
+            raise TrainingError("world_size must be >= 1")
+        return world / self.initial_world_size
+
+    # -- transitions ---------------------------------------------------------
+
+    def scale_down(self, departed: t.Sequence[int], at_s: float,
+                   resumed_iteration: int,
+                   reconfigure_time_s: float) -> EpochTransition:
+        """Excise cleanly departing nodes; continue from live state.
+
+        No checkpoint restore: the survivors' parameters *are* the
+        training state, so ``resumed_iteration`` is whatever iteration
+        the group had completed — nothing is lost.
+        """
+        gone = tuple(dict.fromkeys(departed))
+        if not gone:
+            raise TrainingError("scale_down needs at least one departure")
+        missing = [n for n in gone if n not in self.view.members]
+        if missing:
+            raise TrainingError(
+                f"cannot excise non-members {missing} at epoch "
+                f"{self.view.epoch}")
+        survivors = tuple(n for n in self.view.members if n not in gone)
+        if not survivors:
+            raise TrainingError(
+                "scale-down would leave an empty worker group")
+        self.coordinator.on_leave(
+            departing_workers=len(gone) * self.view.gpus_per_node)
+        return self._advance(
+            kind="scale-down", at_s=at_s, members=survivors,
+            departed=gone, joined=(), live_continuation=True,
+            broadcast_identical=None, resumed_iteration=resumed_iteration,
+            reconfigure_time_s=reconfigure_time_s)
+
+    def scale_up(self, joined: t.Sequence[int], at_s: float,
+                 live_parameters: t.Sequence[State],
+                 resumed_iteration: int, reconfigure_time_s: float,
+                 retuned: str | None = None
+                 ) -> tuple[list[State], EpochTransition]:
+        """Admit joiners via pipelined live-parameter broadcast.
+
+        ``live_parameters`` is each current worker's parameter dict (the
+        coordinator validates the count).  Returns the new total worker
+        set's states plus the transition record; the record's
+        ``broadcast_identical`` asserts every rank came out bit-identical
+        to rank 0 — the correctness contract of the broadcast path.
+        """
+        fresh = tuple(dict.fromkeys(joined))
+        if not fresh:
+            raise TrainingError("scale_up needs at least one joiner")
+        clashes = [n for n in fresh if n in self.view.members]
+        if clashes:
+            raise TrainingError(
+                f"cannot admit existing members {clashes} at epoch "
+                f"{self.view.epoch}")
+        states = self.coordinator.on_join(
+            live_parameters,
+            new_workers=len(fresh) * self.view.gpus_per_node)
+        identical = _states_identical(states)
+        transition = self._advance(
+            kind="scale-up", at_s=at_s,
+            members=self.view.members + fresh,
+            departed=(), joined=fresh, live_continuation=True,
+            broadcast_identical=identical,
+            resumed_iteration=resumed_iteration,
+            reconfigure_time_s=reconfigure_time_s, retuned=retuned)
+        return states, transition
+
+    def failure(self, dead: t.Sequence[int], at_s: float,
+                resumed_iteration: int,
+                reconfigure_time_s: float) -> EpochTransition:
+        """Record the epoch advance of a crash recovery.
+
+        The driver has already routed the state through
+        :meth:`ElasticCoordinator.on_failure` (checkpoint restore) —
+        this only advances the membership bookkeeping.
+        """
+        gone = tuple(dict.fromkeys(dead))
+        if not gone:
+            raise TrainingError("failure transition needs dead nodes")
+        missing = [n for n in gone if n not in self.view.members]
+        if missing:
+            raise TrainingError(
+                f"crashed nodes {missing} are not members at epoch "
+                f"{self.view.epoch}")
+        survivors = tuple(n for n in self.view.members if n not in gone)
+        if not survivors:
+            raise TrainingError("failure would leave an empty worker group")
+        return self._advance(
+            kind="failure", at_s=at_s, members=survivors,
+            departed=gone, joined=(), live_continuation=False,
+            broadcast_identical=None, resumed_iteration=resumed_iteration,
+            reconfigure_time_s=reconfigure_time_s)
+
+    # -- tuner re-key ---------------------------------------------------------
+
+    def retune(self, model: "ModelSpec", cluster: "Cluster",
+               config: "AIACCConfig"
+               ) -> tuple["AIACCConfig", str | None]:
+        """Re-key the tuner's best-setting cache for a new topology.
+
+        Looks up the nearest remembered deployment for the resized
+        cluster (paper §VI: settings are cached per computation graph ×
+        topology) and applies its parameter point to ``config``.
+        Returns ``(config, None)`` unchanged when no cache is attached
+        or it has no usable entry.
+        """
+        if self.settings_cache is None:
+            return config, None
+        found = self.settings_cache.lookup(model, cluster.topology_graph())
+        if found is None:
+            return config, None
+        entry, _distance = found
+        point = entry.best_point
+        return config.replace(
+            num_streams=point.num_streams,
+            granularity_bytes=point.granularity_bytes,
+            algorithm=point.algorithm,
+        ), entry.label
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self, kind: str, at_s: float,
+                 members: tuple[int, ...], departed: tuple[int, ...],
+                 joined: tuple[int, ...], live_continuation: bool,
+                 broadcast_identical: bool | None, resumed_iteration: int,
+                 reconfigure_time_s: float,
+                 retuned: str | None = None) -> EpochTransition:
+        before = self.view
+        after = MembershipView(before.epoch + 1, members,
+                               before.gpus_per_node)
+        if self.coordinator.live_workers != after.world_size:
+            raise TrainingError(
+                f"coordinator/view divergence at epoch {after.epoch}: "
+                f"{self.coordinator.live_workers} != {after.world_size}")
+        transition = EpochTransition(
+            epoch=after.epoch, at_s=at_s, kind=kind,
+            departed=departed, joined=joined,
+            world_before=before.world_size, world_after=after.world_size,
+            live_continuation=live_continuation,
+            broadcast_identical=broadcast_identical,
+            resumed_iteration=resumed_iteration,
+            lr_scale=after.world_size / self.initial_world_size,
+            reconfigure_time_s=reconfigure_time_s, retuned=retuned)
+        self.view = after
+        self.transitions.append(transition)
+        return transition
+
+
+def _states_identical(states: t.Sequence[State]) -> bool:
+    """True when every worker's state is bit-identical to rank 0's."""
+    if not states:
+        return True
+    root = states[0]
+    for other in states[1:]:
+        if set(other) != set(root):
+            return False
+        for name, value in root.items():
+            if not np.array_equal(np.asarray(value),
+                                  np.asarray(other[name])):
+                return False
+    return True

@@ -25,7 +25,7 @@ import typing as t
 from repro.errors import PeerDeadError, ProcessInterrupt, TrainingError
 from repro.core.packing import GradientPacker, unpack
 from repro.core.registration import GradientRegistry
-from repro.core.runtime import AIACCConfig
+from repro.core.runtime import AIACCConfig, DETECTION_DEADLINE_CAP_FACTOR
 from repro.core.streams import CommStreamPool
 from repro.frameworks.base import (
     BACKWARD_DONE,
@@ -66,6 +66,11 @@ class AIACCBackend(DDLBackend):
         #: Step index of the representative worker's timeline (-1 until
         #: the first iteration runs).
         self._step = -1
+        #: Membership epoch of the worker group this engine serves.  The
+        #: elastic runtime bumps it at every scale-up/down boundary via
+        #: :meth:`advance_epoch`; spans and streams record it so traces
+        #: of different topologies are distinguishable.
+        self.epoch = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -90,6 +95,9 @@ class AIACCBackend(DDLBackend):
             setup_latency_s=ctx.cluster.spec.transport.setup_latency_s,
             obs=ctx.obs,
         )
+        # A rewarm after an elastic transition builds a fresh pool; it
+        # serves the same (possibly advanced) membership epoch.
+        self._pool.epoch = self.epoch
         registry = ctx.obs.registry
         self._m_gradients = registry.counter(
             "aiacc_gradients_total", "Gradients pushed by the framework")
@@ -108,6 +116,24 @@ class AIACCBackend(DDLBackend):
         self._daemon = Resource(ctx.sim, 1, name="mpi-daemon")
         self._inflight.clear()
         yield self._pool.setup()
+
+    def advance_epoch(self, epoch: int) -> None:
+        """Enter membership epoch ``epoch`` after an elastic transition.
+
+        Called by the recovery driver once the new worker group is
+        formed.  Propagates the epoch to the stream pool (span metadata)
+        and to the invariant checker, whose cross-worker referee tables
+        are keyed per-topology and must not compare sync rounds or unit
+        plans across a membership change.
+        """
+        if epoch < self.epoch:
+            raise TrainingError(
+                f"membership epoch moved backwards: {self.epoch} -> {epoch}")
+        self.epoch = epoch
+        if self._pool is not None:
+            self._pool.epoch = epoch
+        if self._checker is not None:
+            self._checker.advance_epoch(epoch)
 
     def abort(self, cause: object = None) -> int:
         """Interrupt every in-flight dispatch/unit process.
@@ -233,8 +259,16 @@ class AIACCBackend(DDLBackend):
         is the peer *confirmed* dead (:class:`PeerDeadError`).  The
         optional ``abandon`` callback tears down a timed-out attempt
         (e.g. interrupts a hung unit so it frees its streams).
+
+        Both the per-attempt deadline and the backoff are clamped to
+        ``config.max_detection_deadline_s`` (default:
+        ``DETECTION_DEADLINE_CAP_FACTOR x timeout_s``) so confirmation
+        latency grows linearly — not exponentially — in ``comm_retries``.
         """
-        deadline = timeout_s
+        cap = self.config.max_detection_deadline_s
+        if cap is None:
+            cap = DETECTION_DEADLINE_CAP_FACTOR * timeout_s
+        deadline = min(timeout_s, cap)
         suspected_at: float | None = None
         for attempt in range(self.config.comm_retries + 1):
             pending = launch()
@@ -249,9 +283,9 @@ class AIACCBackend(DDLBackend):
             if abandon is not None:
                 abandon(pending)
             if attempt < self.config.comm_retries:
-                yield ctx.sim.timeout(
-                    self.config.retry_backoff_s * (2 ** attempt))
-                deadline *= 2
+                yield ctx.sim.timeout(min(
+                    self.config.retry_backoff_s * (2 ** attempt), cap))
+                deadline = min(deadline * 2, cap)
         ctx.trace.fault("confirm", ctx.sim.now, phase=phase)
         raise PeerDeadError(phase=phase,
                             suspected_at_s=t.cast(float, suspected_at),

@@ -149,6 +149,9 @@ class ElasticCoordinator:
         self.init_parameters = init_parameters
         self.restarts = 0
         self.joins = 0
+        #: Workers that left *cleanly* (scale-down at an epoch boundary,
+        #: no checkpoint restore) — distinct from :attr:`restarts`.
+        self.departures = 0
 
     def on_failure(self, failed_workers: int = 1) -> tuple[int, State]:
         """Shrink the group and restore state from the last checkpoint.
@@ -173,6 +176,23 @@ class ElasticCoordinator:
             return 0, fresh
         iteration, parameters, _, _ = self.checkpoints.load()
         return iteration, parameters
+
+    def on_leave(self, departing_workers: int = 1) -> int:
+        """Shrink the group after a *clean* departure (scale-down).
+
+        Unlike :meth:`on_failure`, nothing is lost and nothing is
+        restored: the survivors already hold the live parameters, so
+        training continues from them — no checkpoint round-trip.
+        Returns the new live worker count.
+        """
+        if not 0 < departing_workers < self.live_workers:
+            raise CheckpointError(
+                f"cannot release {departing_workers} of "
+                f"{self.live_workers} workers"
+            )
+        self.live_workers -= departing_workers
+        self.departures += departing_workers
+        return self.live_workers
 
     def on_join(self, live_parameters: t.Sequence[State],
                 new_workers: int = 1) -> list[State]:

@@ -21,6 +21,13 @@ MAX_STREAMS = 24
 MIN_GRANULARITY_BYTES = 512 * 1024
 MAX_GRANULARITY_BYTES = 256 * 1024 * 1024
 
+#: Default cap on the failure detector's exponential per-attempt
+#: deadline (and backoff) growth, as a multiple of the base timeout.
+#: Without a cap, ``comm_retries`` retries give the last attempt a
+#: ``2**retries x timeout`` deadline, so confirming a dead peer can take
+#: far longer than ``retries x timeout``.
+DETECTION_DEADLINE_CAP_FACTOR = 4.0
+
 
 @dataclasses.dataclass(frozen=True)
 class AIACCConfig:
@@ -53,6 +60,12 @@ class AIACCConfig:
     comm_retries: int = 2
     #: Base of the exponential backoff between retries.
     retry_backoff_s: float = 0.5
+    #: Hard cap on the failure detector's per-attempt deadline (and the
+    #: backoff slept between attempts).  ``None`` caps at
+    #: ``DETECTION_DEADLINE_CAP_FACTOR x`` the phase's base timeout, so
+    #: total confirmation latency stays linear in ``comm_retries``
+    #: instead of exponential.
+    max_detection_deadline_s: float | None = None
     #: Run under the simulation-wide invariant checker
     #: (:mod:`repro.sim.invariants`): resource-accounting ledgers,
     #: unit-plan/sync-round cross-worker agreement, quiescence at
@@ -87,6 +100,10 @@ class AIACCConfig:
             raise ReproError("comm_retries must be >= 0")
         if self.retry_backoff_s < 0:
             raise ReproError("retry_backoff_s must be >= 0")
+        if self.max_detection_deadline_s is not None \
+                and self.max_detection_deadline_s <= 0:
+            raise ReproError(
+                "max_detection_deadline_s must be positive when set")
 
     @property
     def wire_dtype_bytes(self) -> int:

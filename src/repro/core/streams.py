@@ -44,6 +44,10 @@ class CommStreamPool:
         #: Rank this pool's spans are attributed to (the timed engine
         #: follows one representative worker, rank 0).
         self.rank = rank
+        #: Membership epoch of the worker group this pool serves; the
+        #: elastic runtime bumps it so unit spans from different
+        #: topologies are distinguishable in exported traces.
+        self.epoch = 0
         #: Free CUDA-stream indices, smallest-first so the same workload
         #: lands units on the same lanes run after run.
         self._free_ids = list(range(num_streams))
@@ -166,6 +170,8 @@ class CommStreamPool:
             raise
         finally:
             timeline = self.obs.timeline
+            if self.epoch:
+                span_meta = dict(span_meta, epoch=self.epoch)
             for stream_id in held:
                 heapq.heappush(self._free_ids, stream_id)
                 timeline.span(label, "network", self.rank, granted_at,

@@ -34,6 +34,10 @@ from repro.sim.mpi import Communicator
 #: Tag namespace for synchronization rounds; one stride per round.
 _SYNC_TAG_BASE = 8 << 20
 _SYNC_TAG_STRIDE = 16384
+#: Tag offset per membership epoch.  An elastic transition re-keys the
+#: sync namespace so a straggling pre-transition ring message can never
+#: collide with the re-formed group's rounds.
+_SYNC_EPOCH_STRIDE = 1 << 26
 
 
 class DecentralizedSynchronizer:
@@ -41,15 +45,21 @@ class DecentralizedSynchronizer:
 
     def __init__(self, sim: Simulator, comm: Communicator, rank: int,
                  registry: GradientRegistry,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 epoch: int = 0) -> None:
         if not registry.frozen:
             raise SynchronizationError(
                 "registry must be frozen before synchronization"
             )
+        if epoch < 0:
+            raise SynchronizationError("epoch must be >= 0")
         self.sim = sim
         self.comm = comm
         self.rank = rank
         self.registry = registry
+        #: Membership epoch keying this synchronizer's tag namespace
+        #: (epoch 0 preserves the historical tag layout).
+        self.epoch = epoch
         self._round = 0
         #: Observability sink for negotiation spans/counters.
         self.obs = obs or Observability.disabled()
@@ -70,7 +80,8 @@ class DecentralizedSynchronizer:
         confirmation to the caller's retry policy.
         """
         round_index = self._round
-        tag_base = _SYNC_TAG_BASE + round_index * _SYNC_TAG_STRIDE
+        tag_base = (_SYNC_TAG_BASE + self.epoch * _SYNC_EPOCH_STRIDE
+                    + round_index * _SYNC_TAG_STRIDE)
         self._round += 1
         started_at = self.sim.now
         local = self.registry.sync_vector.copy()

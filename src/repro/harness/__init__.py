@@ -6,6 +6,13 @@ See :mod:`repro.harness.experiments` for one function per table/figure and
 and asserts the paper's shape criteria.
 """
 
+from repro.harness.chaos import (
+    ChaosOutcome,
+    ChaosSoakReport,
+    default_chaos_model,
+    run_chaos_case,
+    run_chaos_soak,
+)
 from repro.harness.experiments import (
     congested_algorithm_choice,
     PYTORCH_BACKENDS,
@@ -37,8 +44,13 @@ from repro.harness.report import (
 )
 
 __all__ = [
+    "ChaosOutcome",
+    "ChaosSoakReport",
     "PYTORCH_BACKENDS",
     "SCALE_AXIS",
+    "default_chaos_model",
+    "run_chaos_case",
+    "run_chaos_soak",
     "autotune_parameters",
     "bandwidth_utilization",
     "congested_algorithm_choice",

@@ -31,8 +31,10 @@ from repro.errors import ReproError
 NETWORK_RANK = -1
 
 #: Fault kinds that open a new recovery episode / close the open one.
-_EPISODE_OPENERS = frozenset({"inject"})
-_EPISODE_CLOSERS = frozenset({"restore", "recover"})
+#: ``leave``/``join`` announcements open a membership episode that the
+#: next epoch advance (or ``restore``/``recover``) closes.
+_EPISODE_OPENERS = frozenset({"inject", "leave", "join"})
+_EPISODE_CLOSERS = frozenset({"restore", "recover", "epoch"})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -185,17 +187,40 @@ class StepTimeline:
             return
         name = f"fault.{kind}"
         self.instant(name, "fault", rank, time, **meta)
-        if kind in _EPISODE_OPENERS or self._fault_episode is None:
+        if kind in _EPISODE_CLOSERS:
+            # A closer with no open episode is a lone instant (e.g. an
+            # epoch advance after the crash's restore already closed the
+            # recovery arrow) — never open a dangling flow for it.
+            if self._fault_episode is not None:
+                self.flow_end(self._fault_episode, name, rank, time)
+                self._fault_episode = None
+        elif kind in _EPISODE_OPENERS or self._fault_episode is None:
             # Close a dangling episode rather than braiding two together.
             if self._fault_episode is not None:
                 self.flow_end(self._fault_episode, "fault.episode",
                               rank, time)
             self._fault_episode = self.flow_start(name, rank, time)
-        elif kind in _EPISODE_CLOSERS:
-            self.flow_end(self._fault_episode, name, rank, time)
-            self._fault_episode = None
         else:
             self.flow_step(self._fault_episode, name, rank, time)
+
+    # -- membership epochs ---------------------------------------------------
+
+    def epoch_event(self, epoch: int, time: float, rank: int = 0,
+                    **meta: object) -> None:
+        """Record a membership-epoch advance.
+
+        Emits an ``epoch.advance`` instant (category ``membership``)
+        carrying the new epoch number plus caller metadata (world size,
+        transition kind, ...), and closes any open fault/membership
+        episode so the announce→admit arrow ends at the epoch boundary.
+        """
+        if not self.enabled:
+            return
+        self.instant("epoch.advance", "membership", rank, time,
+                     epoch=epoch, **meta)
+        if self._fault_episode is not None:
+            self.flow_end(self._fault_episode, "epoch.advance", rank, time)
+            self._fault_episode = None
 
     # -- merging -------------------------------------------------------------
 

@@ -20,6 +20,15 @@ than as closed-form time corrections:
     A node's NIC slows by a factor for a window, modelling the
     slow-worker effect that motivates event-level (not average-rate)
     failure modelling in the S-SGD DAG literature.
+:class:`NodeLeave`
+    A *clean* scheduled departure: the node announces at ``at_s`` and is
+    excised at the next membership-epoch boundary.  Unlike a crash its
+    links stay healthy until then, so survivors continue from live
+    parameters with no checkpoint restore.
+:class:`NodeJoin`
+    A node (a brand-new identity, or a previously crashed/departed one
+    rejoining) requests admission at ``at_s``; it is admitted at the next
+    epoch boundary via a pipelined live-parameter broadcast.
 
 A :class:`FaultPlan` is an immutable, time-sorted schedule of faults;
 a :class:`FaultInjector` arms the plan against a live simulator/cluster/
@@ -120,6 +129,25 @@ class Straggler(Fault):
             raise FaultInjectionError("duration_s must be positive")
 
 
+@dataclasses.dataclass(frozen=True)
+class NodeLeave(Fault):
+    """The node departs cleanly at the next epoch boundary after ``at_s``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeJoin(Fault):
+    """Node identity ``node`` asks to join at the next epoch boundary.
+
+    ``node`` may name a brand-new identity (>= the initial cluster size)
+    or a previously crashed/departed node rejoining at a later epoch.
+    """
+
+
+#: Fault kinds that change membership when *applied* (crash) or at the
+#: next epoch boundary (leave/join).
+MEMBERSHIP_FAULTS = (NodeCrash, NodeLeave, NodeJoin)
+
+
 class FaultPlan:
     """An immutable, time-ordered schedule of faults."""
 
@@ -140,18 +168,78 @@ class FaultPlan:
         return iter(self.faults)
 
     def validate_for(self, cluster: Cluster) -> None:
-        """Check every fault targets a node that exists in ``cluster``."""
+        """Up-front, typed validation of the whole schedule.
+
+        Walks the plan in time order tracking the membership set it
+        implies (crashes and leaves remove a node, joins add one) and
+        rejects, with :class:`~repro.errors.FaultInjectionError` instead
+        of a mid-run ``KeyError``:
+
+        * crashes/leaves targeting a node that is not a member at that
+          point of the schedule (out-of-range ranks included);
+        * joins targeting a node that is already a member;
+        * link-level faults (flap/degradation/straggler) targeting an
+          identity the schedule never knows about — former members are
+          allowed (the fault is a runtime no-op, like today);
+        * any point where the group would drop below one worker.
+        """
+        self.membership_bounds(cluster.num_nodes)
+
+    def membership_bounds(self, initial_nodes: int) -> tuple[int, int]:
+        """Validate the schedule; return ``(min, final)`` member counts.
+
+        ``initial_nodes`` is the size of the cluster the plan is armed
+        against; node identities ``0..initial_nodes-1`` are the initial
+        members.  Raises :class:`~repro.errors.FaultInjectionError` on
+        the first inconsistency (see :meth:`validate_for`).
+        """
+        if initial_nodes < 1:
+            raise FaultInjectionError("initial_nodes must be >= 1")
+        members = set(range(initial_nodes))
+        known = set(members)
+        minimum = len(members)
         for fault in self.faults:
-            if fault.node >= cluster.num_nodes:
-                raise FaultInjectionError(
-                    f"{type(fault).__name__} targets node {fault.node} but "
-                    f"the cluster has only {cluster.num_nodes} nodes"
-                )
+            name = type(fault).__name__
+            if isinstance(fault, NodeJoin):
+                if fault.node in members:
+                    raise FaultInjectionError(
+                        f"{name} at t={fault.at_s:g}s: node {fault.node} "
+                        "is already a member"
+                    )
+                members.add(fault.node)
+                known.add(fault.node)
+            elif isinstance(fault, (NodeCrash, NodeLeave)):
+                if fault.node not in members:
+                    raise FaultInjectionError(
+                        f"{name} at t={fault.at_s:g}s targets node "
+                        f"{fault.node}, which is not a member at that "
+                        "point of the schedule"
+                    )
+                members.discard(fault.node)
+                if not members:
+                    raise FaultInjectionError(
+                        f"{name} at t={fault.at_s:g}s would drop the "
+                        "group below one worker"
+                    )
+                minimum = min(minimum, len(members))
+            else:
+                if fault.node not in known:
+                    raise FaultInjectionError(
+                        f"{name} targets node {fault.node} but the "
+                        f"schedule only ever knows nodes {sorted(known)}"
+                    )
+        return minimum, len(members)
 
     @property
     def crash_count(self) -> int:
         """Number of permanent node crashes in the plan."""
         return sum(1 for f in self.faults if isinstance(f, NodeCrash))
+
+    @property
+    def membership_event_count(self) -> int:
+        """Scheduled crashes, leaves and joins (epoch-changing events)."""
+        return sum(1 for f in self.faults
+                   if isinstance(f, MEMBERSHIP_FAULTS))
 
     @classmethod
     def poisson(cls, mtbf_s: float, horizon_s: float, num_nodes: int,
@@ -203,6 +291,82 @@ class FaultPlan:
                 raise FaultInjectionError(f"unknown fault kind {kind!r}")
         return cls(faults)
 
+    @classmethod
+    def chaos(cls, seed: int, num_nodes: int, horizon_s: float,
+              mtbf_s: float | None = None, min_nodes: int = 1,
+              max_extra_nodes: int = 2,
+              kinds: t.Sequence[type] | None = None) -> "FaultPlan":
+        """Draw a membership-aware random schedule for chaos soaking.
+
+        Like :meth:`poisson` but mixes *membership* events (crashes,
+        clean leaves, joins of new or previously-lost identities) with
+        link-level faults, while tracking the implied membership set so
+        the resulting plan always passes :meth:`validate_for`: the group
+        never drops below ``min_nodes`` and joins never target a current
+        member.  ``max_extra_nodes`` bounds brand-new identities beyond
+        the initial cluster.
+        """
+        if num_nodes < 1:
+            raise FaultInjectionError("num_nodes must be >= 1")
+        if horizon_s <= 0:
+            raise FaultInjectionError("horizon_s must be positive")
+        if not 1 <= min_nodes <= num_nodes:
+            raise FaultInjectionError(
+                "min_nodes must be within [1, num_nodes]")
+        if max_extra_nodes < 0:
+            raise FaultInjectionError("max_extra_nodes must be >= 0")
+        kinds = tuple(kinds) if kinds is not None else (
+            NodeCrash, LinkFlap, BandwidthDegradation, Straggler,
+            NodeLeave, NodeJoin)
+        rng = random.Random(seed)
+        mean = mtbf_s if mtbf_s is not None else horizon_s / 6.0
+        if mean <= 0:
+            raise FaultInjectionError("mtbf_s must be positive")
+        members = set(range(num_nodes))
+        gone: set[int] = set()  # crashed or departed, eligible to rejoin
+        next_new = num_nodes
+        faults: list[Fault] = []
+        clock = 0.0
+        while True:
+            clock += rng.expovariate(1.0 / mean)
+            if clock >= horizon_s:
+                break
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind in (NodeCrash, NodeLeave):
+                if len(members) <= min_nodes:
+                    continue  # would shrink below the floor; skip draw
+                node = rng.choice(sorted(members))
+                members.discard(node)
+                gone.add(node)
+                faults.append(kind(at_s=clock, node=node))
+            elif kind is NodeJoin:
+                fresh = next_new < num_nodes + max_extra_nodes
+                candidates = sorted(gone) + ([next_new] if fresh else [])
+                if not candidates:
+                    continue
+                node = rng.choice(candidates)
+                if node == next_new:
+                    next_new += 1
+                gone.discard(node)
+                members.add(node)
+                faults.append(NodeJoin(at_s=clock, node=node))
+            else:
+                node = rng.choice(sorted(members))
+                if kind is LinkFlap:
+                    faults.append(LinkFlap(at_s=clock, node=node,
+                                           down_s=rng.uniform(0.2, 2.0)))
+                elif kind is BandwidthDegradation:
+                    faults.append(BandwidthDegradation(
+                        at_s=clock, node=node,
+                        fraction=rng.uniform(0.2, 0.8),
+                        duration_s=rng.uniform(0.5, 5.0)))
+                else:
+                    faults.append(Straggler(
+                        at_s=clock, node=node,
+                        slowdown=rng.uniform(2.0, 8.0),
+                        duration_s=rng.uniform(0.5, 5.0)))
+        return cls(faults)
+
 
 class FaultInjector:
     """Arms a :class:`FaultPlan` against a live simulation.
@@ -227,11 +391,26 @@ class FaultInjector:
         self._current: list[int] = list(range(cluster.num_nodes))
         #: Original ids of permanently crashed nodes.
         self._crashed: set[int] = set()
+        #: Original ids of nodes that departed cleanly (scale-down).
+        self._departed: set[int] = set()
+        #: Every identity the injector has ever known (initial members
+        #: plus admitted joiners); joins of unknown ids extend it.
+        self._known: set[int] = set(self._current)
         #: Crashes not yet consumed by the recovery driver
         #: (:meth:`take_pending_dead`), in original-node coordinates.
         self._pending_dead: list[int] = []
+        #: Clean departures announced but not yet excised at an epoch
+        #: boundary (:meth:`take_pending_leaves`).
+        self._pending_leaves: list[int] = []
+        #: Join requests awaiting admission at an epoch boundary
+        #: (:meth:`take_pending_joins`).
+        self._pending_joins: list[int] = []
         #: Injection time per crashed original node.
         self.crash_times: dict[int, float] = {}
+        #: Announce time per departed original node.
+        self.leave_times: dict[int, float] = {}
+        #: Request time per joined original node (latest join wins).
+        self.join_times: dict[int, float] = {}
         #: Processes to interrupt per original node id on crash.
         self._victims: dict[int, list[Process]] = {}
         #: Original capacities of links we have squashed, for restore.
@@ -257,6 +436,8 @@ class FaultInjector:
         the new cluster is built, so no fault can land in between.  The
         surviving original node ids, in order, become the new cluster's
         node indices — the same survivor ordering the rebuild uses.
+        Nodes excised by :meth:`depart` or added by :meth:`admit` are
+        already reflected in the current membership.
         """
         survivors = [n for n in self._current if n not in self._crashed]
         if len(survivors) != cluster.num_nodes:
@@ -269,6 +450,73 @@ class FaultInjector:
         self.network = network
         self._saved_caps.clear()
 
+    # -- membership transitions (epoch boundaries) ----------------------------
+
+    @property
+    def membership(self) -> tuple[int, ...]:
+        """Current members, original ids, in cluster-index order."""
+        return tuple(n for n in self._current if n not in self._crashed)
+
+    def depart(self, nodes: t.Sequence[int]) -> None:
+        """Excise cleanly departing ``nodes`` (original ids).
+
+        Called by the elastic driver at an epoch boundary after draining
+        :meth:`take_pending_leaves`; must be followed by a rebuild +
+        :meth:`retarget` with no intervening simulated time.
+        """
+        for node in nodes:
+            if node not in self._current:
+                raise FaultInjectionError(
+                    f"depart: node {node} is not a current member"
+                )
+            if node in self._crashed:
+                raise FaultInjectionError(
+                    f"depart: node {node} crashed; use the recovery path"
+                )
+            self._departed.add(node)
+        self._current = [n for n in self._current if n not in set(nodes)]
+
+    def admit(self, nodes: t.Sequence[int]) -> None:
+        """Admit joining ``nodes`` (original ids) as new members.
+
+        A previously crashed or departed identity may rejoin: its
+        crashed/departed marks are cleared (the cluster-side equivalent
+        is :meth:`repro.sim.topology.Cluster.uncrash`).  Joiners are
+        appended after the survivors, so existing members keep their
+        cluster indices.
+        """
+        for node in nodes:
+            if node in self._current:
+                raise FaultInjectionError(
+                    f"admit: node {node} is already a member"
+                )
+            self._crashed.discard(node)
+            self._departed.discard(node)
+            self._known.add(node)
+            self._current.append(node)
+
+    @property
+    def has_pending_dead(self) -> bool:
+        """True when crashes await the recovery driver.
+
+        The elastic driver polls this between boundary transitions: a
+        crash landing mid-reconfigure hands the boundary back to the
+        crash-recovery path (remaining leaves/joins are re-queued).
+        """
+        return bool(self._pending_dead)
+
+    def requeue_leaves(self, nodes: t.Sequence[int]) -> None:
+        """Put drained-but-unprocessed departures back at queue front."""
+        self._pending_leaves = [n for n in nodes
+                                if n not in self._pending_leaves] + \
+            self._pending_leaves
+
+    def requeue_joins(self, nodes: t.Sequence[int]) -> None:
+        """Put drained-but-unprocessed join requests back at queue front."""
+        self._pending_joins = [n for n in nodes
+                               if n not in self._pending_joins] + \
+            self._pending_joins
+
     def take_pending_dead(self) -> list[int]:
         """Return-and-clear crashes not yet consumed by recovery.
 
@@ -279,6 +527,31 @@ class FaultInjector:
         """
         dead, self._pending_dead = self._pending_dead, []
         return dead
+
+    def take_pending_leaves(self) -> list[int]:
+        """Return-and-clear announced clean departures (original ids).
+
+        Drained by the elastic driver at iteration boundaries; nodes
+        that crashed between the announcement and the boundary are
+        dropped (the crash recovery path owns them).
+        """
+        leaves, self._pending_leaves = self._pending_leaves, []
+        return [n for n in leaves
+                if n not in self._crashed and n in self._current]
+
+    def take_pending_joins(self) -> list[int]:
+        """Return admissible join requests (original ids).
+
+        A rejoin request for a node that crashed but has not been excised
+        yet (its recovery is still pending) stays queued for a later
+        boundary; a request for a node that is already a live member is
+        dropped as a no-op.
+        """
+        joins, self._pending_joins = self._pending_joins, []
+        ready = [n for n in joins if n not in self._current]
+        self._pending_joins = [n for n in joins
+                               if n in self._current and n in self._crashed]
+        return ready
 
     # -- delivery -------------------------------------------------------------
 
@@ -293,10 +566,16 @@ class FaultInjector:
 
     def apply(self, fault: Fault) -> None:
         """Apply ``fault`` right now (normally called via :meth:`arm`)."""
+        if isinstance(fault, NodeJoin):
+            self._apply_join(fault)
+            return
         if fault.node in self._crashed:
             return  # victim already dead; nothing left to break
         if fault.node not in self._current:
             return  # defensive: unknown identity after a retarget
+        if isinstance(fault, NodeLeave):
+            self._apply_leave(fault)
+            return
         index = self._current.index(fault.node)
         if isinstance(fault, NodeCrash):
             self._apply_crash(fault, index)
@@ -333,6 +612,30 @@ class FaultInjector:
         self.trace.fault("inject", self.sim.now, fault="node_crash",
                          node=fault.node)
 
+    def _apply_leave(self, fault: NodeLeave) -> None:
+        """Announce a clean departure; excision waits for the boundary.
+
+        The node keeps training (links healthy, collectives complete)
+        until the elastic driver drains :meth:`take_pending_leaves` at
+        the end of the current iteration — the live-state continuation
+        that distinguishes scale-down from crash recovery.
+        """
+        if fault.node in self._pending_leaves:
+            return  # duplicate announcement
+        self._pending_leaves.append(fault.node)
+        self.leave_times[fault.node] = self.sim.now
+        self.trace.fault("leave", self.sim.now, node=fault.node)
+
+    def _apply_join(self, fault: NodeJoin) -> None:
+        """Record a join request; admission waits for the boundary."""
+        if fault.node in self._current and fault.node not in self._crashed:
+            return  # already a live member; nothing to admit
+        if fault.node in self._pending_joins:
+            return  # duplicate request
+        self._pending_joins.append(fault.node)
+        self.join_times[fault.node] = self.sim.now
+        self.trace.fault("join", self.sim.now, node=fault.node)
+
     def _apply_scaled(self, fault: Fault, index: int, scale: float | None,
                       duration_s: float, kind: str) -> None:
         """Scale the node's NIC for a window, then restore.
@@ -351,8 +654,8 @@ class FaultInjector:
 
         def _recover() -> t.Generator:
             yield self.sim.timeout(duration_s)
-            if original in self._crashed:
-                return  # node died during the window; stay squashed
+            if original in self._crashed or original not in self._current:
+                return  # node died/left during the window; stay squashed
             for link, capacity in restore:
                 self.network.set_link_capacity(link, capacity)
                 self._saved_caps.pop(link, None)

@@ -104,6 +104,9 @@ class InvariantChecker:
         self._sync_results: dict[tuple[int, int], tuple[int, tuple]] = {}
         #: round -> (reporting rank, unit-plan signature).
         self._unit_plans: dict[int, tuple[int, tuple]] = {}
+        #: Membership epoch the referee tables belong to (see
+        #: :meth:`advance_epoch`).
+        self.epoch = 0
 
     def attach(self, sim: "Simulator") -> "InvariantChecker":
         """Install this checker as ``sim.invariants``."""
@@ -137,6 +140,31 @@ class InvariantChecker:
         digests; comparing digests is the replay-determinism invariant.
         """
         return self._digest.hexdigest()
+
+    # -- membership epochs ---------------------------------------------------
+
+    def advance_epoch(self, epoch: int) -> None:
+        """Re-key the cross-worker referee for a new membership epoch.
+
+        An elastic scale-up/down changes the world size and restarts the
+        engines' round numbering, so sync-round and unit-plan agreements
+        recorded before the transition must not be compared against
+        reports from the new worker group: the per-round referee tables
+        (and the dead previous epoch's ring workers) are cleared.  The
+        event-sequence digest is untouched — replay determinism spans
+        epochs.
+        """
+        if epoch < self.epoch:
+            self._violate(
+                "epoch-monotone",
+                f"membership epoch moved backwards: {self.epoch} -> "
+                f"{epoch}")
+        if epoch == self.epoch:
+            return
+        self.epoch = epoch
+        self._sync_workers.clear()
+        self._sync_results.clear()
+        self._unit_plans.clear()
 
     # -- resource accounting -------------------------------------------------
 

@@ -92,6 +92,20 @@ class Trace:
         if self.timeline is not None and self.enabled:
             self.timeline.fault_event(kind, time, **meta)
 
+    def epoch(self, epoch: int, time: float, **meta: object) -> None:
+        """Record a membership-epoch advance (elastic scale-up/down).
+
+        Bumps the ``aiacc.epoch_advances`` counter, records a point
+        event, and forwards to the obs timeline's
+        :meth:`~repro.obs.timeline.StepTimeline.epoch_event` — which
+        also closes the open announce→admit episode, so the transition
+        renders as one arrow ending at the epoch boundary.
+        """
+        self.incr("aiacc.epoch_advances")
+        self.point("aiacc.epoch.advance", time, epoch=epoch, **meta)
+        if self.timeline is not None and self.enabled:
+            self.timeline.epoch_event(epoch, time, **meta)
+
     def busy_fraction(self, name: str, total_time: float) -> float:
         """Fraction of ``total_time`` spent in activity ``name``."""
         if total_time <= 0:

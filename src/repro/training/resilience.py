@@ -22,7 +22,8 @@ import typing as t
 
 import numpy as np
 
-from repro.errors import PeerDeadError, TrainingError
+from repro.errors import FaultInjectionError, PeerDeadError, TrainingError
+from repro.core.elastic import EpochTransition
 from repro.models.base import ModelSpec
 from repro.models.zoo import get_model
 from repro.sim.faults import FaultInjector, FaultPlan
@@ -192,12 +193,21 @@ def simulate_elastic_scaling(
     results: list[ElasticPhase] = []
     total_time = 0.0
     previous_gpus: int | None = None
+    # One measurement per distinct world size: an up-down-up schedule
+    # revisiting a size reuses its measured iteration time (the
+    # measurement is a deterministic function of (spec, backend,
+    # num_gpus, batch_per_gpu), all fixed across phases).
+    measured_cache: dict[int, t.Any] = {}
     for num_gpus, iterations in phases:
         if num_gpus < 1 or iterations < 1:
             raise TrainingError("phases need positive GPUs/iterations")
-        measured = run_training(spec, backend, num_gpus,
-                                batch_per_gpu=batch_per_gpu,
-                                measure_iterations=2, warmup_iterations=1)
+        measured = measured_cache.get(num_gpus)
+        if measured is None:
+            measured = run_training(spec, backend, num_gpus,
+                                    batch_per_gpu=batch_per_gpu,
+                                    measure_iterations=2,
+                                    warmup_iterations=1)
+            measured_cache[num_gpus] = measured
         if previous_gpus is not None and num_gpus != previous_gpus:
             # Resize pause: communicator rebuild + parameter broadcast
             # to joiners (only needed when growing).
@@ -269,6 +279,13 @@ class FaultInjectionResult:
     #: Event-sequence digest (replay determinism); ``None`` unless the
     #: run executed under the invariant checker.
     state_digest: str | None = None
+    #: Membership-epoch transitions (scale-down / scale-up / failure),
+    #: in boundary order.  Empty for a purely crash-free, static run.
+    epoch_transitions: tuple[EpochTransition, ...] = ()
+    #: Membership epoch the run finished in.
+    final_epoch: int = 0
+    #: Linear-scaling-rule LR multiplier for the final world size.
+    final_lr_scale: float = 1.0
 
     @property
     def ideal_iteration_s(self) -> float:
@@ -307,6 +324,7 @@ def run_fault_injected_training(
     max_restarts: int = 8,
     check_invariants: bool = False,
     obs: t.Any = None,
+    settings_cache: t.Any = None,
 ) -> FaultInjectionResult:
     """Train under an event-driven fault schedule and self-heal.
 
@@ -326,7 +344,22 @@ def run_fault_injected_training(
     node's NIC squash actually stalls traffic; ``sync_timeout_s`` /
     ``unit_timeout_s`` / ``comm_retries`` / ``retry_backoff_s`` drive the
     paper's §IV failure detector.
+
+    The plan may also schedule *membership* events
+    (:class:`~repro.sim.faults.NodeLeave` /
+    :class:`~repro.sim.faults.NodeJoin`).  These are drained at
+    iteration boundaries — where the group is quiescent — and advance
+    the membership epoch (:class:`~repro.core.elastic.ElasticRuntime`):
+    a clean leave excises the departed nodes and continues from the
+    survivors' **live** parameters (no checkpoint restore); a join
+    admits the new identities via the coordinator's pipelined
+    live-parameter broadcast, verified bit-identical across ranks, and
+    re-keys the auto-tuner's best-setting cache (pass
+    ``settings_cache``) plus the linear-scaling LR multiplier for the
+    new topology.  Crashes keep the abort → rebuild → checkpoint-restore
+    path, now also stamped as a ``failure`` epoch transition.
     """
+    from repro.core.elastic import ElasticRuntime
     from repro.core.fault_tolerance import CheckpointManager, \
         ElasticCoordinator
     from repro.frameworks import make_backend
@@ -353,11 +386,10 @@ def run_fault_injected_training(
         comm_retries=comm_retries, retry_backoff_s=retry_backoff_s,
         check_invariants=check_invariants or config.check_invariants)
     num_nodes = num_gpus // gpus_per_node
-    if plan.crash_count >= num_nodes:
-        raise TrainingError(
-            f"plan crashes {plan.crash_count} of {num_nodes} nodes; "
-            "at least one must survive"
-        )
+    try:
+        plan.membership_bounds(num_nodes)
+    except FaultInjectionError as exc:
+        raise TrainingError(f"invalid fault plan: {exc}") from exc
     batch = batch_per_gpu or spec.default_batch_size
     run_trace = trace or Trace(enabled=True, keep_spans=True)
 
@@ -384,8 +416,32 @@ def run_fault_injected_training(
         elastic = ElasticCoordinator(
             checkpoints, initial_workers=num_gpus,
             init_parameters=lambda: _stub_state(0))
+        runtime = ElasticRuntime(
+            elastic, members=range(num_nodes), gpus_per_node=gpus_per_node,
+            settings_cache=settings_cache)
         ckpt_cost = checkpoint_write_time_s(spec)
         rebuild_cost = restart_overhead_s + broadcast_time_s(spec)
+        #: Communicator re-formation pause at a clean epoch boundary —
+        #: no process respawn, so a third of the full restart overhead
+        #: (matching :func:`simulate_elastic_scaling`'s resize pause).
+        reconfigure_cost = restart_overhead_s / 3.0
+
+        def _rebuild(world_size: int, label: str):
+            """Re-form the group: new context, retargeted injector.
+
+            Built with no intervening simulated time after the caller's
+            membership bookkeeping, so no fault can land in between.
+            """
+            nonlocal ctx
+            ctx = build_train_context(
+                spec, backend, world_size, batch, transport=transport,
+                nic_bandwidth_bps=nic_bandwidth_bps,
+                gpus_per_node=gpus_per_node, trace=run_trace,
+                representative=False, sim=sim, obs=obs)
+            injector.retarget(ctx.cluster, ctx.network)
+            backend.advance_epoch(runtime.epoch)
+            rewarm = sim.spawn(backend.warmup(ctx), name=label)
+            sim.run(until=rewarm)
 
         warm = sim.spawn(backend.warmup(ctx), name="warmup")
         sim.run(until=warm)
@@ -407,6 +463,86 @@ def run_fault_injected_training(
                     checkpoints.save(completed, _stub_state(completed))
                     ckpt_total += ckpt_cost
                     sim.run(until=sim.timeout(ckpt_cost))
+
+                # Epoch boundary: the group is quiescent, so announced
+                # clean departures and pending joins take effect here,
+                # in announcement order (batching consecutive same-kind
+                # events into one transition each, matching the order
+                # the plan was validated in).
+                leaves = injector.take_pending_leaves()
+                joins = injector.take_pending_joins()
+                batches: list[tuple[str, list[int]]] = []
+                announced = sorted(
+                    [(injector.leave_times[n], n, "leave") for n in leaves]
+                    + [(injector.join_times[n], n, "join") for n in joins])
+                for _at, node, kind in announced:
+                    if batches and batches[-1][0] == kind:
+                        batches[-1][1].append(node)
+                    else:
+                        batches.append((kind, [node]))
+                while batches:
+                    if injector.has_pending_dead:
+                        # A crash landed mid-transition: hand the
+                        # boundary to the crash-recovery path and keep
+                        # the rest of the membership work queued.
+                        for kind, nodes in batches:
+                            if kind == "leave":
+                                injector.requeue_leaves(nodes)
+                            else:
+                                injector.requeue_joins(nodes)
+                        break
+                    kind, nodes = batches.pop(0)
+                    if kind == "leave":
+                        # Scale-down: excise the departed ranks and
+                        # continue from the survivors' live parameters —
+                        # nothing is lost, nothing restores from
+                        # checkpoint.
+                        injector.depart(nodes)
+                        runtime.scale_down(
+                            nodes, at_s=sim.now,
+                            resumed_iteration=completed,
+                            reconfigure_time_s=reconfigure_cost)
+                        _rebuild(runtime.view.world_size,
+                                 f"rewarm-epoch{runtime.epoch}")
+                        sim.run(until=sim.timeout(reconfigure_cost))
+                        run_trace.epoch(runtime.epoch, sim.now,
+                                        kind="scale-down",
+                                        world=runtime.view.world_size)
+                    else:
+                        # Scale-up: admit joiners via the pipelined
+                        # live-parameter broadcast, re-key the tuner's
+                        # best-setting cache for the new topology and
+                        # rescale the LR (linear scaling rule).
+                        injector.admit(nodes)
+                        join_cost = reconfigure_cost + \
+                            broadcast_time_s(spec)
+                        live = [_stub_state(completed)
+                                for _ in range(elastic.live_workers)]
+                        new_world = runtime.view.world_size + \
+                            len(nodes) * gpus_per_node
+                        joined_ctx = build_train_context(
+                            spec, backend, new_world, batch,
+                            transport=transport,
+                            nic_bandwidth_bps=nic_bandwidth_bps,
+                            gpus_per_node=gpus_per_node, trace=run_trace,
+                            representative=False, sim=sim, obs=obs)
+                        backend.config, tuned_label = runtime.retune(
+                            spec, joined_ctx.cluster, backend.config)
+                        runtime.scale_up(
+                            nodes, at_s=sim.now, live_parameters=live,
+                            resumed_iteration=completed,
+                            reconfigure_time_s=join_cost,
+                            retuned=tuned_label)
+                        ctx = joined_ctx
+                        injector.retarget(ctx.cluster, ctx.network)
+                        backend.advance_epoch(runtime.epoch)
+                        rewarm = sim.spawn(
+                            backend.warmup(ctx),
+                            name=f"rewarm-epoch{runtime.epoch}")
+                        sim.run(until=rewarm)
+                        sim.run(until=sim.timeout(join_cost))
+                        run_trace.epoch(runtime.epoch, sim.now,
+                                        kind="scale-up", world=new_world)
                 continue
 
             failure = proc.value
@@ -437,18 +573,13 @@ def run_fault_injected_training(
                 failed_workers=len(all_dead) * gpus_per_node)
             run_trace.fault("restore", sim.now,
                             iteration=resume_iteration)
-            survivors = ctx.cluster.num_nodes - len(all_dead)
+            runtime.failure(
+                all_dead, at_s=sim.now, resumed_iteration=resume_iteration,
+                reconfigure_time_s=sim.now - failure.confirmed_at_s)
             # Rebuild the communicator over the survivors and retarget
             # the injector with no intervening simulated time, so no
             # fault can land between the two.
-            ctx = build_train_context(
-                spec, backend, survivors * gpus_per_node, batch,
-                transport=transport, nic_bandwidth_bps=nic_bandwidth_bps,
-                gpus_per_node=gpus_per_node, trace=run_trace,
-                representative=False, sim=sim, obs=obs)
-            injector.retarget(ctx.cluster, ctx.network)
-            rewarm = sim.spawn(backend.warmup(ctx), name="rewarmup")
-            sim.run(until=rewarm)
+            _rebuild(runtime.view.world_size, "rewarmup")
             recoveries.append(RecoveryRecord(
                 failed_nodes=tuple(all_dead),
                 injected_at_s=min(injector.crash_times[n]
@@ -459,6 +590,8 @@ def run_fault_injected_training(
                 failed_at_iteration=completed,
                 resumed_iteration=resume_iteration,
             ))
+            run_trace.epoch(runtime.epoch, sim.now, kind="failure",
+                            world=runtime.view.world_size)
             wasted += completed - resume_iteration
             completed = resume_iteration
     finally:
@@ -478,4 +611,7 @@ def run_fault_injected_training(
         recoveries=tuple(recoveries),
         trace=run_trace,
         state_digest=sim.state_digest(),
+        epoch_transitions=tuple(runtime.transitions),
+        final_epoch=runtime.epoch,
+        final_lr_scale=runtime.lr_scale(),
     )

@@ -1,0 +1,257 @@
+"""Unit tests for the elastic membership runtime (`repro.core.elastic`).
+
+Covers the epoch bookkeeping (views, transitions, monotonic epochs), the
+coordinator's clean-departure and live-broadcast join paths, the tuner
+re-key on topology change and the cluster-side rejoin bookkeeping
+(`Cluster.uncrash`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotune.cache import SettingsCache
+from repro.autotune.space import ParameterPoint
+from repro.core.elastic import ElasticRuntime, EpochTransition, \
+    MembershipView
+from repro.core.fault_tolerance import CheckpointManager, ElasticCoordinator
+from repro.core.runtime import AIACCConfig
+from repro.errors import CheckpointError, TopologyError, TrainingError
+from repro.sim.kernel import Simulator
+from repro.sim.topology import Cluster, NodeSpec
+
+
+def make_runtime(tmp_path, nodes=4, gpus_per_node=2, cache=None):
+    manager = CheckpointManager(tmp_path)
+    coordinator = ElasticCoordinator(
+        manager, initial_workers=nodes * gpus_per_node)
+    runtime = ElasticRuntime(coordinator, members=range(nodes),
+                             gpus_per_node=gpus_per_node,
+                             settings_cache=cache)
+    return runtime, coordinator
+
+
+class TestMembershipView:
+    def test_world_size(self):
+        view = MembershipView(0, (0, 1, 2), gpus_per_node=4)
+        assert view.num_nodes == 3
+        assert view.world_size == 12
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            MembershipView(-1, (0,), 1)
+        with pytest.raises(TrainingError):
+            MembershipView(0, (), 1)
+        with pytest.raises(TrainingError):
+            MembershipView(0, (0, 0), 1)
+        with pytest.raises(TrainingError):
+            MembershipView(0, (0,), 0)
+
+
+class TestEpochTransition:
+    def make(self, **overrides):
+        base = dict(epoch=1, at_s=1.0, kind="scale-down", departed=(1,),
+                    joined=(), world_before=8, world_after=6,
+                    live_continuation=True, broadcast_identical=None,
+                    resumed_iteration=3, lr_scale=0.75,
+                    reconfigure_time_s=0.5)
+        base.update(overrides)
+        return EpochTransition(**base)
+
+    def test_valid_transition(self):
+        assert self.make().kind == "scale-down"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TrainingError):
+            self.make(kind="resize")
+
+    def test_rejects_bad_worlds_and_times(self):
+        with pytest.raises(TrainingError):
+            self.make(world_after=0)
+        with pytest.raises(TrainingError):
+            self.make(reconfigure_time_s=-0.1)
+
+
+class TestScaleDown:
+    def test_clean_departure_continues_live(self, tmp_path):
+        runtime, coordinator = make_runtime(tmp_path)
+        transition = runtime.scale_down([3], at_s=2.0,
+                                        resumed_iteration=5,
+                                        reconfigure_time_s=0.4)
+        assert runtime.epoch == 1
+        assert runtime.members == (0, 1, 2)
+        assert coordinator.live_workers == 6
+        assert coordinator.departures == 2  # 1 node x 2 GPUs
+        assert coordinator.restarts == 0  # no checkpoint restore
+        assert transition.kind == "scale-down"
+        assert transition.live_continuation is True
+        assert transition.broadcast_identical is None
+        assert transition.resumed_iteration == 5  # nothing lost
+        assert transition.lr_scale == pytest.approx(0.75)
+
+    def test_rejects_non_member_and_empty_group(self, tmp_path):
+        runtime, _ = make_runtime(tmp_path)
+        with pytest.raises(TrainingError, match="non-members"):
+            runtime.scale_down([9], at_s=0.0, resumed_iteration=0,
+                               reconfigure_time_s=0.0)
+        with pytest.raises(TrainingError):
+            runtime.scale_down([], at_s=0.0, resumed_iteration=0,
+                               reconfigure_time_s=0.0)
+        with pytest.raises((TrainingError, CheckpointError)):
+            runtime.scale_down([0, 1, 2, 3], at_s=0.0,
+                               resumed_iteration=0, reconfigure_time_s=0.0)
+
+
+class TestScaleUp:
+    def test_join_broadcasts_bit_identical_state(self, tmp_path):
+        runtime, coordinator = make_runtime(tmp_path, nodes=2)
+        live = [{"w": np.arange(6, dtype=np.float32) + rank * 0}
+                for rank in range(4)]
+        states, transition = runtime.scale_up(
+            [2], at_s=1.0, live_parameters=live, resumed_iteration=4,
+            reconfigure_time_s=0.8)
+        assert runtime.epoch == 1
+        assert runtime.members == (0, 1, 2)
+        assert coordinator.live_workers == 6
+        assert len(states) == 6
+        # Every rank — including both joiners — is bit-identical to
+        # rank 0: the broadcast correctness contract.
+        for state in states[1:]:
+            np.testing.assert_array_equal(state["w"], states[0]["w"])
+        assert transition.kind == "scale-up"
+        assert transition.broadcast_identical is True
+        assert transition.live_continuation is True
+        assert transition.lr_scale == pytest.approx(1.5)
+
+    def test_rejoin_keeps_identity(self, tmp_path):
+        runtime, _ = make_runtime(tmp_path)
+        runtime.scale_down([1], at_s=1.0, resumed_iteration=2,
+                           reconfigure_time_s=0.1)
+        live = [{"w": np.ones(2)} for _ in range(6)]
+        _, transition = runtime.scale_up(
+            [1], at_s=2.0, live_parameters=live, resumed_iteration=3,
+            reconfigure_time_s=0.2)
+        assert runtime.members == (0, 2, 3, 1)
+        assert transition.joined == (1,)
+        assert runtime.epoch == 2
+        assert runtime.lr_scale() == pytest.approx(1.0)
+
+    def test_rejects_existing_member(self, tmp_path):
+        runtime, _ = make_runtime(tmp_path)
+        with pytest.raises(TrainingError, match="existing members"):
+            runtime.scale_up([0], at_s=0.0, live_parameters=[],
+                             resumed_iteration=0, reconfigure_time_s=0.0)
+
+
+class TestFailureTransition:
+    def test_failure_records_checkpoint_restore(self, tmp_path):
+        runtime, coordinator = make_runtime(tmp_path)
+        # The driver routes state through on_failure first ...
+        coordinator.on_failure(failed_workers=2)
+        transition = runtime.failure([2], at_s=3.0, resumed_iteration=0,
+                                     reconfigure_time_s=1.5)
+        assert transition.kind == "failure"
+        assert transition.live_continuation is False
+        assert runtime.members == (0, 1, 3)
+
+    def test_divergence_from_coordinator_detected(self, tmp_path):
+        runtime, _ = make_runtime(tmp_path)
+        # ... skipping on_failure leaves the coordinator at the old
+        # count, which the runtime refuses to paper over.
+        with pytest.raises(TrainingError, match="divergence"):
+            runtime.failure([2], at_s=3.0, resumed_iteration=0,
+                            reconfigure_time_s=1.5)
+
+    def test_epochs_are_monotonic_across_transitions(self, tmp_path):
+        runtime, coordinator = make_runtime(tmp_path)
+        runtime.scale_down([0], at_s=1.0, resumed_iteration=1,
+                           reconfigure_time_s=0.1)
+        coordinator.on_failure(failed_workers=2)
+        runtime.failure([1], at_s=2.0, resumed_iteration=0,
+                        reconfigure_time_s=0.5)
+        live = [{"w": np.zeros(1)} for _ in range(4)]
+        runtime.scale_up([5], at_s=3.0, live_parameters=live,
+                         resumed_iteration=2, reconfigure_time_s=0.3)
+        assert [t.epoch for t in runtime.transitions] == [1, 2, 3]
+        assert runtime.epoch == 3
+
+
+class TestRetune:
+    def test_rekey_applies_cached_point(self, tmp_path):
+        from repro.models.zoo import get_model
+
+        sim = Simulator()
+        model = get_model("resnet50")
+        cluster = Cluster(sim, 3, NodeSpec(gpus_per_node=2))
+        cache = SettingsCache()
+        cache.store("prior-3node", model, cluster.topology_graph(),
+                    ParameterPoint(num_streams=4,
+                                   granularity_bytes=8e6,
+                                   algorithm="hierarchical"),
+                    best_cost_s=0.01)
+        runtime, _ = make_runtime(tmp_path, cache=cache)
+        config, label = runtime.retune(model, cluster, AIACCConfig())
+        assert label == "prior-3node"
+        assert config.num_streams == 4
+        assert config.granularity_bytes == 8e6
+        assert config.algorithm == "hierarchical"
+
+    def test_no_cache_leaves_config_unchanged(self, tmp_path):
+        from repro.models.zoo import get_model
+
+        sim = Simulator()
+        cluster = Cluster(sim, 2, NodeSpec(gpus_per_node=2))
+        runtime, _ = make_runtime(tmp_path, cache=None)
+        config = AIACCConfig()
+        tuned, label = runtime.retune(get_model("resnet50"), cluster,
+                                      config)
+        assert tuned is config
+        assert label is None
+
+
+class TestCoordinatorMembership:
+    def test_on_leave_counts_departures(self, tmp_path):
+        coordinator = ElasticCoordinator(CheckpointManager(tmp_path),
+                                         initial_workers=8)
+        assert coordinator.on_leave(departing_workers=2) == 6
+        assert coordinator.departures == 2
+        assert coordinator.restarts == 0
+
+    def test_on_leave_rejects_bad_counts(self, tmp_path):
+        coordinator = ElasticCoordinator(CheckpointManager(tmp_path),
+                                         initial_workers=4)
+        with pytest.raises(CheckpointError):
+            coordinator.on_leave(departing_workers=0)
+        with pytest.raises(CheckpointError):
+            coordinator.on_leave(departing_workers=4)
+
+    def test_on_join_broadcast_multi_tensor_state(self, tmp_path):
+        coordinator = ElasticCoordinator(CheckpointManager(tmp_path),
+                                         initial_workers=3)
+        live = [{"w": np.full((2, 3), 7.0), "b": np.arange(4.0)}
+                for _ in range(3)]
+        result = coordinator.on_join(live, new_workers=2)
+        assert coordinator.live_workers == 5
+        assert coordinator.joins == 2
+        assert len(result) == 5
+        for state in result:
+            np.testing.assert_array_equal(state["w"], live[0]["w"])
+            np.testing.assert_array_equal(state["b"], live[0]["b"])
+            assert state["w"].shape == (2, 3)  # shape survives the ravel
+
+
+class TestClusterUncrash:
+    def test_uncrash_clears_failed_mark(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 3, NodeSpec(gpus_per_node=2))
+        cluster.fail_node(1)
+        assert cluster.alive_nodes == [0, 2]
+        cluster.uncrash(1)
+        assert cluster.failed_nodes == set()
+        assert cluster.alive_world_size == cluster.world_size
+        cluster.uncrash(1)  # idempotent
+
+    def test_uncrash_checks_range(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 2, NodeSpec(gpus_per_node=1))
+        with pytest.raises(TopologyError):
+            cluster.uncrash(5)

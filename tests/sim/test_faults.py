@@ -1,15 +1,20 @@
 """Unit tests for the fault-injection subsystem (`repro.sim.faults`)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import FaultInjectionError, ProcessInterrupt
 from repro.sim.faults import (
     DEAD_LINK_BPS,
+    MEMBERSHIP_FAULTS,
     BandwidthDegradation,
     FaultInjector,
     FaultPlan,
     LinkFlap,
     NodeCrash,
+    NodeJoin,
+    NodeLeave,
     Straggler,
 )
 from repro.sim.kernel import Simulator
@@ -224,3 +229,199 @@ class TestRetarget:
         injector.apply(NodeCrash(at_s=0.0, node=2))
         injector.apply(NodeCrash(at_s=0.0, node=2))  # idempotent
         assert injector.take_pending_dead() == [2]
+
+
+class TestMembershipPlanValidation:
+    def test_leave_out_of_range_rejected(self):
+        plan = FaultPlan([NodeLeave(at_s=1.0, node=7)])
+        with pytest.raises(FaultInjectionError, match="not a member"):
+            plan.membership_bounds(2)
+
+    def test_schedule_draining_the_group_rejected(self):
+        plan = FaultPlan([NodeLeave(at_s=1.0, node=0),
+                          NodeCrash(at_s=2.0, node=1)])
+        with pytest.raises(FaultInjectionError, match="below one worker"):
+            plan.membership_bounds(2)
+
+    def test_join_of_current_member_rejected(self):
+        plan = FaultPlan([NodeJoin(at_s=1.0, node=1)])
+        with pytest.raises(FaultInjectionError, match="already a member"):
+            plan.membership_bounds(2)
+
+    def test_leave_then_rejoin_of_same_identity_is_valid(self):
+        plan = FaultPlan([NodeLeave(at_s=1.0, node=1),
+                          NodeJoin(at_s=2.0, node=1),
+                          NodeLeave(at_s=3.0, node=1)])
+        assert plan.membership_bounds(2) == (1, 1)
+        assert plan.membership_event_count == 3
+
+    def test_membership_tracked_in_schedule_order(self):
+        # A leave that is only legal because an earlier join grew the
+        # group: validation must walk the implied membership over time.
+        plan = FaultPlan([NodeJoin(at_s=0.5, node=1),
+                          NodeLeave(at_s=0.6, node=0)])
+        assert plan.membership_bounds(1) == (1, 1)
+        # The reverse order (leave first) would drain the group.
+        with pytest.raises(FaultInjectionError):
+            FaultPlan([NodeLeave(at_s=0.4, node=0),
+                       NodeJoin(at_s=0.5, node=1)]).membership_bounds(1)
+
+    def test_link_fault_on_unknown_identity_rejected(self):
+        plan = FaultPlan([Straggler(at_s=1.0, node=9, slowdown=2.0)])
+        with pytest.raises(FaultInjectionError, match="only ever knows"):
+            plan.membership_bounds(2)
+        # ... but a *former* member is fine (the fault is a runtime no-op).
+        plan = FaultPlan([NodeLeave(at_s=1.0, node=1),
+                          LinkFlap(at_s=2.0, node=1)])
+        plan.membership_bounds(2)
+
+    def test_validate_for_covers_membership_events(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, num_nodes=2)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan([NodeLeave(at_s=1.0, node=5)]).validate_for(cluster)
+
+
+class TestChaosPlans:
+    def test_chaos_is_deterministic(self):
+        a = FaultPlan.chaos(seed=7, num_nodes=4, horizon_s=10.0)
+        b = FaultPlan.chaos(seed=7, num_nodes=4, horizon_s=10.0)
+        assert a.faults == b.faults
+
+    def test_chaos_mixes_membership_and_link_faults(self):
+        plan = FaultPlan.chaos(seed=3, num_nodes=4, horizon_s=60.0,
+                               mtbf_s=1.0)
+        kinds = {type(f) for f in plan}
+        assert any(k in kinds for k in MEMBERSHIP_FAULTS)
+        assert plan.membership_event_count <= len(plan)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           num_nodes=st.integers(1, 6),
+           min_nodes=st.integers(1, 3),
+           max_extra=st.integers(0, 3))
+    def test_chaos_plans_always_validate(self, seed, num_nodes,
+                                         min_nodes, max_extra):
+        # Every drawn schedule must pass the same up-front validation
+        # the recovery driver applies, and respect the membership floor.
+        min_nodes = min(min_nodes, num_nodes)
+        plan = FaultPlan.chaos(seed=seed, num_nodes=num_nodes,
+                               horizon_s=30.0, mtbf_s=2.0,
+                               min_nodes=min_nodes,
+                               max_extra_nodes=max_extra)
+        minimum, final = plan.membership_bounds(num_nodes)
+        assert minimum >= min_nodes
+        assert final <= num_nodes + max_extra
+
+
+class TestMembershipInjector:
+    def test_leave_is_announced_not_applied(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        network = FluidNetwork(sim)
+        injector = FaultInjector(sim, cluster, network)
+        healthy = cluster.nic_out[1].capacity_bps
+        injector.arm(FaultPlan([NodeLeave(at_s=1.0, node=1)]))
+        sim.run()
+        # Unlike a crash, the node stays healthy until the boundary.
+        assert cluster.failed_nodes == set()
+        assert cluster.nic_out[1].capacity_bps == pytest.approx(healthy)
+        assert injector.leave_times[1] == pytest.approx(1.0)
+        assert injector.take_pending_leaves() == [1]
+        assert injector.take_pending_leaves() == []  # drained
+
+    def test_duplicate_announcements_dedup(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim), FluidNetwork(sim))
+        injector.apply(NodeLeave(at_s=0.0, node=2))
+        injector.apply(NodeLeave(at_s=0.0, node=2))
+        assert injector.take_pending_leaves() == [2]
+        injector.apply(NodeJoin(at_s=0.0, node=9))
+        injector.apply(NodeJoin(at_s=0.0, node=9))
+        assert injector.take_pending_joins() == [9]
+
+    def test_join_of_live_member_is_noop(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim), FluidNetwork(sim))
+        injector.apply(NodeJoin(at_s=0.0, node=1))
+        assert injector.take_pending_joins() == []
+
+    def test_depart_then_admit_roundtrip(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim, num_nodes=4),
+                                 FluidNetwork(sim))
+        injector.depart([1, 3])
+        assert injector.membership == (0, 2)
+        injector.retarget(make_cluster(sim, num_nodes=2),
+                          FluidNetwork(sim))
+        injector.admit([3])
+        # Joiners append after the survivors, preserving indices.
+        assert injector.membership == (0, 2, 3)
+        injector.retarget(make_cluster(sim, num_nodes=3),
+                          FluidNetwork(sim))
+
+    def test_depart_rejects_non_member_and_crashed(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim), FluidNetwork(sim))
+        with pytest.raises(FaultInjectionError, match="not a current"):
+            injector.depart([9])
+        injector.apply(NodeCrash(at_s=0.0, node=2))
+        with pytest.raises(FaultInjectionError, match="recovery path"):
+            injector.depart([2])
+
+    def test_admit_rejects_current_member(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim), FluidNetwork(sim))
+        with pytest.raises(FaultInjectionError, match="already a member"):
+            injector.admit([0])
+
+    def test_crash_between_announce_and_boundary_drops_leave(self):
+        # The node announced a clean departure but died before the
+        # boundary: the crash-recovery path owns it, the leave is void.
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim), FluidNetwork(sim))
+        injector.apply(NodeLeave(at_s=0.0, node=1))
+        injector.apply(NodeCrash(at_s=0.0, node=1))
+        assert injector.take_pending_leaves() == []
+        assert injector.take_pending_dead() == [1]
+
+    def test_rejoin_after_crash_clears_bookkeeping(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, num_nodes=4)
+        injector = FaultInjector(sim, cluster, FluidNetwork(sim))
+        injector.apply(NodeCrash(at_s=0.0, node=1))
+        assert injector.take_pending_dead() == [1]
+        injector.retarget(make_cluster(sim, num_nodes=3),
+                          FluidNetwork(sim))
+        assert injector.membership == (0, 2, 3)
+        # The same identity rejoins at a later epoch.
+        injector.apply(NodeJoin(at_s=0.0, node=1))
+        assert injector.take_pending_joins() == [1]
+        injector.admit([1])
+        assert injector.membership == (0, 2, 3, 1)
+        rebuilt = make_cluster(sim, num_nodes=4)
+        injector.retarget(rebuilt, FluidNetwork(sim))
+        # The rejoined node is healthy: a fresh crash for it re-applies.
+        injector.apply(NodeCrash(at_s=0.0, node=1))
+        assert rebuilt.failed_nodes == {3}  # node 1 sits at index 3 now
+        assert injector.take_pending_dead() == [1]
+
+    def test_requeue_puts_events_back_at_front(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim, num_nodes=4),
+                                 FluidNetwork(sim))
+        injector.apply(NodeLeave(at_s=0.0, node=3))
+        injector.requeue_leaves([1, 2])
+        assert injector.take_pending_leaves() == [1, 2, 3]
+        injector.apply(NodeJoin(at_s=0.0, node=8))
+        injector.requeue_joins([8, 9])  # 8 already queued: dedup
+        assert injector.take_pending_joins() == [9, 8]
+
+    def test_has_pending_dead_tracks_unconsumed_crashes(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, make_cluster(sim), FluidNetwork(sim))
+        assert not injector.has_pending_dead
+        injector.apply(NodeCrash(at_s=0.0, node=0))
+        assert injector.has_pending_dead
+        injector.take_pending_dead()
+        assert not injector.has_pending_dead

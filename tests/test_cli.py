@@ -113,6 +113,22 @@ class TestFaultsCommand:
         assert main(["faults", "--model", "resnet50", "--gpus", "8"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_chaos_soak(self, capsys, tmp_path):
+        jsonl = tmp_path / "chaos.jsonl"
+        assert main(["chaos", "--seeds", "4", "--replays", "2",
+                     "--jsonl", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "completed:" in out
+        assert "seed   0" in out
+        assert len(jsonl.read_text().strip().splitlines()) == 4
+
+    def test_chaos_typed_failures_exit_zero(self, capsys):
+        # Typed clean failures are expected chaos outcomes, not harness
+        # errors: a sweep containing them still exits 0.
+        assert main(["chaos", "--seeds", "6", "--replays", "1",
+                     "--mtbf", "0.2"]) == 0
+        assert "clean failures:" in capsys.readouterr().out
+
 
 class TestNewBenchEntries:
     @pytest.mark.parametrize("experiment", ["congested", "insightface",

@@ -1,0 +1,190 @@
+"""End-to-end elastic membership: scheduled leaves/joins in the driver.
+
+Exercises `run_fault_injected_training` with `NodeLeave` / `NodeJoin`
+events: scale-down must continue from live parameters (no checkpoint
+restore), scale-up must admit joiners through the bit-identical live
+broadcast, and both must advance the membership epoch visibly in the
+trace and the observability timeline.
+"""
+
+import pytest
+
+from repro.autotune.cache import SettingsCache
+from repro.autotune.space import ParameterPoint
+from repro.core.runtime import AIACCConfig
+from repro.errors import ReproError
+from repro.models.synthetic import random_model_spec
+from repro.obs import Observability
+from repro.sim.faults import FaultPlan, NodeCrash, NodeJoin, NodeLeave
+from repro.training.resilience import run_fault_injected_training, \
+    simulate_elastic_scaling
+
+
+def small_spec():
+    return random_model_spec(seed=0, num_layers=12,
+                             total_parameters=5_000_000,
+                             total_forward_flops=2e9)
+
+
+def run(plan, **overrides):
+    kwargs = dict(num_gpus=16, total_iterations=8, checkpoint_interval=3,
+                  restart_overhead_s=2.0, sync_timeout_s=0.5,
+                  unit_timeout_s=1.0, comm_retries=1, retry_backoff_s=0.1)
+    kwargs.update(overrides)
+    return run_fault_injected_training(small_spec(), plan, **kwargs)
+
+
+class TestScaleDown:
+    def test_clean_leave_continues_without_restore(self, tmp_path):
+        result = run(FaultPlan([NodeLeave(at_s=0.2, node=1)]),
+                     checkpoint_dir=str(tmp_path))
+        # The departure is not a failure: nothing detected, nothing
+        # restored, nothing lost.
+        assert result.recoveries == ()
+        assert result.wasted_iterations == 0
+        assert result.final_num_gpus == 8
+        assert result.final_epoch == 1
+        assert result.final_lr_scale == pytest.approx(0.5)
+        assert len(result.epoch_transitions) == 1
+        transition = result.epoch_transitions[0]
+        assert transition.kind == "scale-down"
+        assert transition.departed == (1,)
+        assert transition.live_continuation is True
+        # The resumed iteration equals the boundary's completed count:
+        # live continuation, not a checkpoint rollback.
+        assert transition.resumed_iteration > 0
+        counters = result.trace.counters
+        assert counters["aiacc.faults.leave"] == 1
+        assert counters["aiacc.epoch_advances"] == 1
+        assert "aiacc.faults.restore" not in counters
+        assert "aiacc.faults.confirm" not in counters
+
+    def test_all_iterations_complete(self, tmp_path):
+        result = run(FaultPlan([NodeLeave(at_s=0.2, node=1)]),
+                     checkpoint_dir=str(tmp_path))
+        assert len(result.iteration_times_s) == result.total_iterations
+
+
+class TestScaleUp:
+    def test_join_resumes_bit_identical_with_epoch_timeline(self,
+                                                            tmp_path):
+        obs = Observability()
+        result = run(
+            FaultPlan([NodeLeave(at_s=0.2, node=1),
+                       NodeJoin(at_s=1.1, node=1)]),
+            total_iterations=10, checkpoint_dir=str(tmp_path), obs=obs)
+        assert [t.kind for t in result.epoch_transitions] == \
+            ["scale-down", "scale-up"]
+        up = result.epoch_transitions[1]
+        assert up.joined == (1,)
+        assert up.broadcast_identical is True
+        assert up.live_continuation is True
+        assert result.final_num_gpus == 16
+        assert result.final_epoch == 2
+        assert result.final_lr_scale == pytest.approx(1.0)
+        # Epoch increments land in the observability timeline.
+        advances = [i for i in obs.timeline.instants
+                    if i.name == "epoch.advance"]
+        assert [i.meta["epoch"] for i in advances] == [1, 2]
+        assert all(i.cat == "membership" for i in advances)
+        assert advances[0].meta["kind"] == "scale-down"
+        assert advances[1].meta["kind"] == "scale-up"
+
+    def test_join_of_new_identity_grows_the_group(self, tmp_path):
+        result = run(FaultPlan([NodeJoin(at_s=0.2, node=8)]),
+                     total_iterations=6, checkpoint_dir=str(tmp_path))
+        assert result.final_num_gpus == 24
+        assert result.final_lr_scale == pytest.approx(1.5)
+        assert result.epoch_transitions[0].kind == "scale-up"
+        assert result.recoveries == ()
+
+    def test_join_rekeys_settings_cache(self, tmp_path):
+        # Prime the tuner cache with a remembered deployment; the join
+        # boundary must re-key against it and stamp the transition.
+        cache = SettingsCache()
+        cache.store("prior", small_spec(), _graph(num_nodes=9),
+                    ParameterPoint(num_streams=4, granularity_bytes=8e6,
+                                   algorithm="ring"), best_cost_s=0.01)
+        result = run(FaultPlan([NodeJoin(at_s=0.2, node=8)]),
+                     total_iterations=6, checkpoint_dir=str(tmp_path),
+                     settings_cache=cache)
+        assert result.epoch_transitions[0].retuned == "prior"
+
+    def test_crash_then_rejoin_same_identity(self, tmp_path):
+        # A node crashes (checkpoint-restore recovery), then the same
+        # identity rejoins at a later epoch via the live broadcast.
+        result = run(
+            FaultPlan([NodeCrash(at_s=0.2, node=1),
+                       NodeJoin(at_s=4.0, node=1)]),
+            total_iterations=10, checkpoint_dir=str(tmp_path))
+        kinds = [t.kind for t in result.epoch_transitions]
+        assert kinds == ["failure", "scale-up"]
+        failure, up = result.epoch_transitions
+        assert failure.live_continuation is False
+        assert up.joined == (1,)
+        assert result.final_num_gpus == 16
+        assert len(result.recoveries) == 1
+
+
+def _graph(num_nodes):
+    from repro.sim.kernel import Simulator
+    from repro.sim.topology import Cluster, NodeSpec
+
+    cluster = Cluster(Simulator(), num_nodes, NodeSpec(gpus_per_node=2))
+    return cluster.topology_graph()
+
+
+class TestDetectionDeadlineCap:
+    def test_config_validates_cap(self):
+        AIACCConfig(max_detection_deadline_s=1.0)  # valid
+        with pytest.raises(ReproError):
+            AIACCConfig(max_detection_deadline_s=0.0)
+
+    def test_detection_latency_stays_bounded(self, tmp_path):
+        # Regression for the failure detector's exponential deadline
+        # growth: with many retries configured, uncapped doubling made
+        # confirmation latency explode (1+2+4+...+64 unit-timeouts).
+        # The cap keeps it linear in the retry count.
+        result = run(FaultPlan([NodeCrash(at_s=0.2, node=1)]),
+                     comm_retries=6, total_iterations=6,
+                     checkpoint_dir=str(tmp_path))
+        rec = result.recoveries[0]
+        # Uncapped doubling of the 0.5 s/1.0 s timeouts over 6 retries
+        # would put confirmation > 60 s out; the 4x cap keeps each
+        # deadline <= 4 s, bounding the whole detection well under that.
+        assert rec.detection_latency_s < 40.0
+
+    def test_explicit_cap_tightens_detection(self, tmp_path):
+        capped = run(FaultPlan([NodeCrash(at_s=0.2, node=1)]),
+                     comm_retries=4, total_iterations=6,
+                     checkpoint_dir=str(tmp_path))
+        assert capped.recoveries[0].detection_latency_s > 0
+
+
+class TestElasticScalingMemoization:
+    def test_one_measurement_per_world_size(self, monkeypatch):
+        import types
+
+        import repro.training.trainer as trainer
+
+        calls = []
+
+        def fake_run_training(spec, backend, num_gpus, batch_per_gpu=None,
+                              measure_iterations=2, warmup_iterations=1):
+            calls.append(num_gpus)
+            return types.SimpleNamespace(
+                mean_iteration_s=1.0 / num_gpus, batch_per_gpu=32)
+
+        monkeypatch.setattr(trainer, "run_training", fake_run_training)
+        phases, total = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(8, 2), (16, 2), (8, 2), (16, 2)])
+        # Up-down-up schedule revisits both sizes; each measured once.
+        assert sorted(calls) == [8, 16]
+        assert len(phases) == 4
+        assert total > 0
+
+    def test_revisited_size_reuses_identical_measurement(self):
+        phases, _ = simulate_elastic_scaling(
+            "resnet50", "aiacc", [(8, 1), (16, 1), (8, 1)])
+        assert phases[0].iteration_time_s == phases[2].iteration_time_s
+        assert phases[0].samples == phases[2].samples
