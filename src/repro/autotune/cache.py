@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import pathlib
 
 import networkx as nx
@@ -18,7 +19,10 @@ import networkx as nx
 from repro.errors import AutotuneError
 from repro.autotune.graph_distance import deployment_distance
 from repro.autotune.space import ParameterPoint
+from repro.ioutil import atomic_write_text
 from repro.models.base import ModelSpec
+
+logger = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,6 +44,9 @@ class SettingsCache:
             raise AutotuneError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: list[CacheEntry] = []
+        #: Corrupt persisted entries :meth:`load` skipped, as
+        #: ``(entry_payload, reason)`` pairs — quarantined, not fatal.
+        self.quarantined: list[tuple[object, str]] = []
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,7 +106,9 @@ class SettingsCache:
                 },
                 "best_cost_s": entry.best_cost_s,
             })
-        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+        # Atomic: a tuner killed mid-save must leave either the previous
+        # cache or the new one, never a truncated JSON file.
+        atomic_write_text(path, json.dumps(payload, indent=2))
 
     @classmethod
     def load(cls, path: str | pathlib.Path,
@@ -108,22 +117,38 @@ class SettingsCache:
 
         Model specs are restored as lightweight fingerprints that carry
         exactly the layer-size structure the similarity metric uses.
+
+        A corrupt *entry* (missing keys, wrong types, an unparsable
+        topology) is quarantined into :attr:`quarantined` and logged
+        instead of poisoning the whole cache: losing one remembered
+        deployment costs a warm start, losing the cache on every load
+        costs the tuner its memory entirely.  An unreadable or
+        non-JSON *file* still raises :class:`AutotuneError`.
         """
         try:
             payload = json.loads(pathlib.Path(path).read_text())
         except (OSError, ValueError) as exc:
             raise AutotuneError(f"cannot load settings cache: {exc}") \
                 from exc
+        if not isinstance(payload, list):
+            raise AutotuneError(
+                f"settings cache {path} is not a list of entries")
         cache = cls(max_entries=max_entries)
         for item in payload:
-            cache.store(
-                label=item["label"],
-                model=_model_from_fingerprint(item["model"]),
-                topology=nx.node_link_graph(item["topology"],
-                                            edges="links"),
-                best_point=ParameterPoint(**item["best_point"]),
-                best_cost_s=item["best_cost_s"],
-            )
+            try:
+                cache.store(
+                    label=item["label"],
+                    model=_model_from_fingerprint(item["model"]),
+                    topology=nx.node_link_graph(item["topology"],
+                                                edges="links"),
+                    best_point=ParameterPoint(**item["best_point"]),
+                    best_cost_s=float(item["best_cost_s"]),
+                )
+            except Exception as exc:  # corrupt entry: quarantine it
+                cache.quarantined.append((item, str(exc)))
+                logger.warning(
+                    "settings cache %s: quarantined corrupt entry "
+                    "(%s): %r", path, exc, item)
         return cache
 
 

@@ -1,0 +1,51 @@
+"""Crash-safe experiment-campaign service (durable grid execution).
+
+The paper's evaluation is a large grid of model x world-size x
+stream-count x algorithm runs; regenerating it through ad-hoc in-process
+loops means one crash, bad seed or OOM loses the whole sweep.  This
+package makes campaign execution a fault-tolerant subsystem:
+
+* :mod:`repro.campaign.grid` expands a parameter grid into deterministic
+  :class:`~repro.campaign.grid.RunSpec` cells;
+* :mod:`repro.campaign.store` records every run in a durable
+  SQLite-backed :class:`~repro.campaign.store.CampaignStore` with atomic
+  ``pending -> claimed -> running -> done | failed | quarantined``
+  transitions, claim leases and heartbeats;
+* :mod:`repro.campaign.policy` retries transient failures with capped
+  exponential backoff and quarantines deterministic ones;
+* :mod:`repro.campaign.worker` executes one cell inside a pool process
+  and records its terminal state durably *from the worker*, so an
+  orchestrator crash never loses finished work;
+* :mod:`repro.campaign.runner` fans cells out across a process pool,
+  reclaims expired leases, and survives ``kill -9`` of workers or the
+  orchestrator itself (``python -m repro campaign resume``);
+* :mod:`repro.campaign.report` renders the durable results and computes
+  the resume-invariant report digest.
+
+Driven by ``python -m repro campaign`` (submit/run/status/resume/report).
+"""
+
+from repro.campaign.grid import (
+    CampaignGrid,
+    RunSpec,
+    expand_grids,
+    named_grids,
+)
+from repro.campaign.policy import RetryPolicy
+from repro.campaign.report import CampaignReport, load_report
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import STATES, CampaignStore, RunRow
+
+__all__ = [
+    "CampaignGrid",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignStore",
+    "RetryPolicy",
+    "RunRow",
+    "RunSpec",
+    "STATES",
+    "expand_grids",
+    "load_report",
+    "named_grids",
+]

@@ -1,0 +1,213 @@
+"""Parameter-grid expansion into deterministic run specs.
+
+A campaign is a set of **cells**: every combination of the grid's axes
+(model x ranks x streams x algorithm x fault plan x seed, plus whatever
+else a runner understands), each executed by a named runner from
+:mod:`repro.campaign.worker`.  Cells are identified by a deterministic
+``spec_id`` — a digest of the runner name and the cell's parameters — so
+resubmitting the same grid into a store is idempotent and an interrupted
+campaign resumes against exactly the same cell set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import typing as t
+
+from repro.errors import CampaignError
+
+#: JSON-safe scalar types allowed as axis values / cell parameters.
+Scalar = t.Union[str, int, float, bool, None]
+
+
+def _require_scalar(axis: str, value: object) -> Scalar:
+    if value is not None and not isinstance(value, (str, int, float, bool)):
+        raise CampaignError(
+            f"axis {axis!r} value {value!r} is not a JSON-safe scalar")
+    return t.cast(Scalar, value)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One grid cell: a runner name plus its JSON-safe parameters."""
+
+    runner: str
+    params: t.Mapping[str, Scalar]
+
+    @property
+    def spec_id(self) -> str:
+        """Deterministic identity of this cell (stable across sessions)."""
+        payload = json.dumps({"runner": self.runner,
+                              "params": dict(sorted(self.params.items()))},
+                             sort_keys=True)
+        return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+    def to_json(self) -> str:
+        return json.dumps({"runner": self.runner,
+                           "params": dict(sorted(self.params.items()))},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+            return cls(runner=data["runner"], params=dict(data["params"]))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CampaignError(f"corrupt run spec: {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignGrid:
+    """A cross-product of axes executed by one runner.
+
+    ``base`` parameters are merged into every cell (axes win on
+    conflict only if the axis redefines the same name, which is
+    rejected — one source of truth per parameter).
+    """
+
+    runner: str = "measure"
+    axes: t.Mapping[str, t.Sequence[Scalar]] = \
+        dataclasses.field(default_factory=dict)
+    base: t.Mapping[str, Scalar] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.runner:
+            raise CampaignError("grid needs a runner name")
+        overlap = set(self.axes) & set(self.base)
+        if overlap:
+            raise CampaignError(
+                f"parameters {sorted(overlap)} appear both as an axis and "
+                f"as a base value")
+        for axis, values in self.axes.items():
+            if not values:
+                raise CampaignError(f"axis {axis!r} has no values")
+            for value in values:
+                _require_scalar(axis, value)
+        for name, value in self.base.items():
+            _require_scalar(name, value)
+
+    def expand(self) -> list[RunSpec]:
+        """Every cell of the grid, in deterministic axis-sorted order."""
+        names = sorted(self.axes)
+        specs: list[RunSpec] = []
+        for combo in itertools.product(*(self.axes[name]
+                                         for name in names)):
+            params = dict(self.base)
+            params.update(zip(names, combo))
+            specs.append(RunSpec(runner=self.runner, params=params))
+        return specs
+
+    def to_payload(self) -> dict:
+        return {"runner": self.runner,
+                "axes": {name: list(values)
+                         for name, values in sorted(self.axes.items())},
+                "base": dict(sorted(self.base.items()))}
+
+    @classmethod
+    def from_payload(cls, data: t.Mapping[str, t.Any]) -> "CampaignGrid":
+        try:
+            return cls(runner=data.get("runner", "measure"),
+                       axes={str(k): tuple(v)
+                             for k, v in dict(data.get("axes", {})).items()},
+                       base=dict(data.get("base", {})))
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise CampaignError(f"corrupt grid payload: {exc}") from exc
+
+
+def expand_grids(grids: t.Sequence[CampaignGrid]) -> list[RunSpec]:
+    """Expand several grids into one deduplicated, ordered cell list.
+
+    Duplicate cells (same runner + params, hence same ``spec_id``) are
+    collapsed — two figures sharing a (model, backend, gpus) point
+    measure it once and both read the same durable result.
+    """
+    if not grids:
+        raise CampaignError("campaign needs at least one grid")
+    seen: dict[str, RunSpec] = {}
+    for grid in grids:
+        for spec in grid.expand():
+            seen.setdefault(spec.spec_id, spec)
+    return list(seen.values())
+
+
+def grids_payload(grids: t.Sequence[CampaignGrid]) -> str:
+    return json.dumps([grid.to_payload() for grid in grids], sort_keys=True)
+
+
+def grids_from_payload(text: str) -> list[CampaignGrid]:
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise CampaignError(f"corrupt campaign grid JSON: {exc}") from exc
+    if not isinstance(data, list):
+        raise CampaignError("campaign grid JSON must be a list of grids")
+    return [CampaignGrid.from_payload(item) for item in data]
+
+
+# --------------------------------------------------------------------------
+# Named grids
+# --------------------------------------------------------------------------
+
+def figures_grids() -> list[CampaignGrid]:
+    """The paper's Fig. 9-13 sweeps as one campaign.
+
+    Axes come from :data:`repro.harness.experiments.FIGURE_SWEEPS` — the
+    same declaration the in-process harness figures use — so the
+    campaign regenerates exactly the published cells.
+    """
+    from repro.harness.experiments import FIGURE_SWEEPS
+
+    grids = []
+    for figure, sweep in sorted(FIGURE_SWEEPS.items()):
+        grids.append(CampaignGrid(
+            runner=sweep.get("runner", "measure"),
+            axes={"model": tuple(sweep["models"]),
+                  "backend": tuple(sweep["backends"]),
+                  "gpus": tuple(sweep["gpus"])},
+            base={"figure": figure, "seed": 0,
+                  **sweep.get("base", {})},
+        ))
+    return grids
+
+
+def smoke_grids() -> list[CampaignGrid]:
+    """A tiny deterministic grid for CI smoke and local sanity runs."""
+    return [CampaignGrid(
+        runner="measure",
+        axes={"model": ("resnet50",),
+              "backend": ("aiacc", "horovod"),
+              "gpus": (8, 16)},
+        base={"figure": "smoke", "seed": 0},
+    )]
+
+
+def chaos_grids(seeds: int = 4) -> list[CampaignGrid]:
+    """Fault-plan sweep: chaos soak seeds as independent durable cells."""
+    return [CampaignGrid(
+        runner="chaos",
+        axes={"seed": tuple(range(seeds))},
+        base={"fault_plan": "chaos:mtbf=0.35,horizon=2.5",
+              "gpus": 8, "gpus_per_node": 2, "iterations": 12},
+    )]
+
+
+#: name -> zero-arg factory of the campaign's grids.
+NAMED_GRIDS: dict[str, t.Callable[[], list[CampaignGrid]]] = {
+    "figures": figures_grids,
+    "smoke": smoke_grids,
+    "chaos": chaos_grids,
+}
+
+
+def named_grids(name: str) -> list[CampaignGrid]:
+    """Resolve a named campaign grid (``figures``/``smoke``/``chaos``)."""
+    try:
+        factory = NAMED_GRIDS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown grid {name!r}; available: "
+            f"{', '.join(sorted(NAMED_GRIDS))}") from None
+    return factory()

@@ -24,6 +24,14 @@ Commands
     Run one fully-instrumented iteration and emit the observability
     report: per-rank step-time attribution, per-stream lane usage,
     per-link utilisation, plus Perfetto/Prometheus/JSONL artifacts.
+    With ``--from-campaign`` it instead renders a campaign's durable
+    results store.
+``campaign``
+    Crash-safe experiment campaigns over a durable SQLite results
+    store: ``submit`` a parameter grid, ``run`` it across a process
+    pool, ``status`` it, ``resume`` an interrupted campaign (workers or
+    the orchestrator may be killed at any instant), and ``report`` the
+    recorded results with a resume-invariant digest.
 """
 
 from __future__ import annotations
@@ -152,6 +160,80 @@ def build_parser() -> argparse.ArgumentParser:
                         default=pathlib.Path("results/report"),
                         help="directory for trace.json / timeline.jsonl / "
                         "metrics.prom")
+    report.add_argument("--from-campaign", type=pathlib.Path, default=None,
+                        metavar="STORE",
+                        help="render a campaign results store instead of "
+                        "running a simulation (typed error on a missing "
+                        "or corrupt store)")
+    report.add_argument("--campaign-id", type=int, default=None,
+                        help="campaign id inside --from-campaign "
+                        "(default: the latest)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="crash-safe experiment campaigns over a durable store")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def add_store(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--store", type=pathlib.Path,
+                         default=pathlib.Path("results/campaigns.db"),
+                         help="SQLite results store "
+                         "(default: results/campaigns.db)")
+
+    def add_runner_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=int, default=2,
+                         help="process-pool size")
+        cmd.add_argument("--lease", type=float, default=10.0,
+                         help="claim lease seconds; an expired lease "
+                         "marks the claimant dead and re-queues the run")
+        cmd.add_argument("--max-attempts", type=int, default=4)
+        cmd.add_argument("--backoff", type=float, default=0.5,
+                         help="base retry backoff seconds (doubles per "
+                         "attempt, capped)")
+        cmd.add_argument("--max-wall-s", type=float, default=None,
+                         help="abort (resumably) past this wall-clock "
+                         "budget")
+
+    submit = campaign_sub.add_parser(
+        "submit", help="expand a grid into pending runs")
+    add_store(submit)
+    submit.add_argument("--grid", default="smoke",
+                        help="named grid (figures|smoke|chaos) or a JSON "
+                        "grid file path")
+    submit.add_argument("--name", default=None,
+                        help="campaign name (default: the grid name)")
+
+    run_cmd = campaign_sub.add_parser(
+        "run", help="run a campaign to completion (submits --grid first "
+        "unless --id is given)")
+    add_store(run_cmd)
+    run_cmd.add_argument("--id", type=int, default=None,
+                         help="existing campaign id to run")
+    run_cmd.add_argument("--grid", default=None,
+                         help="submit this grid, then run it")
+    run_cmd.add_argument("--name", default=None)
+    add_runner_options(run_cmd)
+
+    resume = campaign_sub.add_parser(
+        "resume", help="resume an interrupted campaign exactly-once")
+    resume.add_argument("id", type=int)
+    add_store(resume)
+    add_runner_options(resume)
+
+    status = campaign_sub.add_parser(
+        "status", help="run-state counts per campaign")
+    add_store(status)
+    status.add_argument("--id", type=int, default=None)
+
+    creport = campaign_sub.add_parser(
+        "report", help="render recorded results + resume-invariant digest")
+    add_store(creport)
+    creport.add_argument("--id", type=int, default=None,
+                         help="campaign id (default: the latest)")
+    creport.add_argument("--out", type=pathlib.Path, default=None,
+                         help="also write summary.md / runs.jsonl / "
+                         "metrics.prom here")
 
     return parser
 
@@ -380,8 +462,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
               f"{result.state_digest})")
 
     if args.trace_out is not None:
-        args.trace_out.write_text(
-            json.dumps(result.trace.to_chrome_trace()))
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.trace_out,
+                          json.dumps(result.trace.to_chrome_trace()))
         print(f"wrote {args.trace_out}")
     return 0
 
@@ -422,11 +506,138 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_grids(grid_arg: str) -> tuple[str, list]:
+    """Resolve --grid: a named grid or a JSON grid-list file path."""
+    from repro.campaign.grid import NAMED_GRIDS, grids_from_payload, \
+        named_grids
+    from repro.errors import CampaignError
+
+    if grid_arg in NAMED_GRIDS:
+        return grid_arg, named_grids(grid_arg)
+    path = pathlib.Path(grid_arg)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CampaignError(
+            f"--grid {grid_arg!r} is neither a named grid "
+            f"({', '.join(sorted(NAMED_GRIDS))}) nor a readable JSON "
+            f"file: {exc}") from exc
+    return path.stem, grids_from_payload(text)
+
+
+def _print_campaign_report(report: t.Any,
+                           out: pathlib.Path | None) -> None:
+    from repro.campaign.report import render_report, write_report_artifacts
+
+    # Artifacts first: a consumer truncating stdout (head, a dropped
+    # pipe) must not cost the durable files.
+    written = {} if out is None else write_report_artifacts(out, report)
+    print(render_report(report))
+    for name, path in sorted(written.items()):
+        print(f"wrote {name}: {path}")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.policy import RetryPolicy
+    from repro.campaign.report import load_report, load_report_from_path
+    from repro.campaign.runner import CampaignRunner, submit_campaign
+    from repro.campaign.store import CampaignStore, open_store_readonly
+
+    def make_runner(campaign_id: int) -> CampaignRunner:
+        policy = RetryPolicy(max_attempts=args.max_attempts,
+                             base_backoff_s=args.backoff)
+        return CampaignRunner(args.store, campaign_id,
+                              max_workers=args.workers,
+                              lease_s=args.lease, policy=policy)
+
+    def run_to_completion(campaign_id: int) -> int:
+        last: dict[str, int] = {}
+
+        def progress(counts: dict[str, int]) -> None:
+            nonlocal last
+            if counts != last:
+                last = counts
+                states = " ".join(f"{state}={count}"
+                                  for state, count in counts.items()
+                                  if count)
+                print(f"campaign {campaign_id}: {states}")
+
+        counts = make_runner(campaign_id).run(
+            progress=progress, max_wall_s=args.max_wall_s)
+        with open_store_readonly(args.store) as store:
+            report = load_report(store, campaign_id)
+        print(f"report digest: {report.digest()}")
+        incomplete = counts["pending"] + counts["claimed"] + \
+            counts["running"]
+        return 0 if incomplete == 0 else 1
+
+    if args.campaign_command == "submit":
+        name, grids = _campaign_grids(args.grid)
+        with CampaignStore(args.store) as store:
+            campaign_id = submit_campaign(store, grids,
+                                          name=args.name or name)
+            total = store.counts(campaign_id)["pending"]
+        print(f"campaign {campaign_id}: {total} runs pending in "
+              f"{args.store}")
+        print(f"run it with: python -m repro campaign run "
+              f"--store {args.store} --id {campaign_id}")
+        return 0
+
+    if args.campaign_command == "run":
+        if (args.id is None) == (args.grid is None):
+            from repro.errors import CampaignError
+
+            raise CampaignError(
+                "campaign run needs exactly one of --id or --grid")
+        if args.id is not None:
+            campaign_id = args.id
+        else:
+            name, grids = _campaign_grids(args.grid)
+            with CampaignStore(args.store) as store:
+                campaign_id = submit_campaign(store, grids,
+                                              name=args.name or name)
+            print(f"campaign {campaign_id}: submitted grid "
+                  f"{args.grid!r}")
+        return run_to_completion(campaign_id)
+
+    if args.campaign_command == "resume":
+        return run_to_completion(args.id)
+
+    if args.campaign_command == "status":
+        with open_store_readonly(args.store) as store:
+            campaigns = store.campaigns()
+            if args.id is not None:
+                campaigns = [c for c in campaigns if c.id == args.id]
+            for info in campaigns:
+                counts = store.counts(info.id)
+                states = " ".join(f"{state}={count}"
+                                  for state, count in counts.items())
+                print(f"campaign {info.id} ({info.name}): {states}")
+        if not campaigns:
+            print("no campaigns recorded")
+        return 0
+
+    assert args.campaign_command == "report"
+    report = load_report_from_path(args.store, args.id)
+    _print_campaign_report(report, args.out)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.runtime import AIACCConfig
     from repro.harness import format_table
     from repro.obs import write_artifacts
     from repro.obs.report import build_step_report
+
+    if args.from_campaign is not None:
+        from repro.campaign.report import load_report_from_path
+
+        report = load_report_from_path(args.from_campaign,
+                                       args.campaign_id)
+        _print_campaign_report(
+            report, args.out if args.out != pathlib.Path("results/report")
+            else None)
+        return 0
 
     overrides: dict[str, t.Any] = {}
     if args.streams is not None:
@@ -485,6 +696,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "faults": cmd_faults,
         "chaos": cmd_chaos,
         "report": cmd_report,
+        "campaign": cmd_campaign,
     }
     try:
         return handlers[args.command](args)

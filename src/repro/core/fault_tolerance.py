@@ -15,6 +15,7 @@ checkpoint round-trip needed).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import typing as t
 
@@ -65,8 +66,14 @@ class CheckpointManager:
         payload["meta/json"] = np.frombuffer(
             json.dumps({"iteration": iteration,
                         **dict(metadata or {})}).encode(), dtype=np.uint8)
+        # Flush + fsync before the rename: os.replace is atomic against
+        # readers, but only a sync makes the *content* durable — without
+        # it a crash just after the rename can surface a checkpoint
+        # whose metadata/tensor bytes never hit the disk.
         with open(tmp, "wb") as fh:
             np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(path)
         self._prune()
         return path

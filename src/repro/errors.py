@@ -141,6 +141,30 @@ class TranslationError(ReproError):
     """The source-to-source translator could not convert the input script."""
 
 
+class ReportInputError(ReproError):
+    """A report command was pointed at a missing or corrupt input file.
+
+    Raised (instead of an unhandled ``OSError``/``json.JSONDecodeError``
+    traceback) by ``python -m repro report`` and the campaign report
+    path so scripted pipelines get a typed failure and a non-zero exit.
+    """
+
+
+class CampaignError(ReproError):
+    """The experiment-campaign service hit an invalid request or state."""
+
+
+class CampaignStoreError(CampaignError):
+    """The durable campaign results store is missing, corrupt or denied
+    an atomic state transition it needed."""
+
+
+class TransientWorkerError(ReproError):
+    """A campaign run failed in a way that is expected to succeed on
+    retry (injected by test runners; the retry policy's canonical
+    transient error class)."""
+
+
 class NaNGradientError(TrainingError):
     """A NaN/Inf value was detected in a gradient tensor.
 

@@ -34,6 +34,7 @@ import pathlib
 import typing as t
 
 from repro.errors import ReproError
+from repro.ioutil import atomic_write_text
 from repro.models.base import ModelSpec
 from repro.models.synthetic import random_model_spec
 from repro.sim.faults import FaultPlan
@@ -208,7 +209,9 @@ def run_chaos_soak(
             lines.append(json.dumps(_timeline_record(outcome, result),
                                     sort_keys=True))
     if jsonl_path is not None:
-        pathlib.Path(jsonl_path).write_text("\n".join(lines) + "\n")
+        # Atomic (temp + os.replace): a soak killed mid-write must not
+        # leave a truncated artifact for CI/report consumers to choke on.
+        atomic_write_text(jsonl_path, "\n".join(lines) + "\n")
     return ChaosSoakReport(outcomes=tuple(outcomes), replays=replays)
 
 

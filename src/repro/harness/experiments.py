@@ -31,6 +31,28 @@ SCALE_AXIS = (8, 16, 32, 64, 128, 256)
 #: Backends in the paper's Fig. 9/10 comparison.
 PYTORCH_BACKENDS = ("aiacc", "horovod", "pytorch-ddp", "byteps")
 
+#: Declarative axes of the paper's figure sweeps (Figs. 9-13).
+#:
+#: One source of truth consumed both by the in-process harness
+#: functions below and by the campaign service
+#: (:func:`repro.campaign.grid.figures_grids`), so ``python -m repro
+#: campaign run --grid figures`` regenerates exactly the published
+#: cells — each one a durable, individually retryable run.
+FIGURE_SWEEPS: dict[str, dict] = {
+    "fig9": {"models": ("vgg16", "resnet50", "resnet101"),
+             "backends": PYTORCH_BACKENDS, "gpus": SCALE_AXIS},
+    "fig10": {"models": ("transformer", "bert-large"),
+              "backends": PYTORCH_BACKENDS, "gpus": SCALE_AXIS},
+    "fig11": {"models": ("vgg16", "resnet50", "bert-large"),
+              "backends": ("aiacc", "horovod"), "gpus": SCALE_AXIS},
+    "fig12": {"models": ("vgg16", "resnet50"),
+              "backends": ("aiacc", "mxnet-kvstore"), "gpus": SCALE_AXIS},
+    "fig13": {"models": ("resnet50",),
+              "backends": ("aiacc", "mxnet-kvstore"),
+              "gpus": (8, 16, 32, 64), "runner": "hybrid",
+              "base": {"model_parallel_degree": 2}},
+}
+
 
 def tuned_aiacc_config(model: str | ModelSpec,
                        num_gpus: int) -> AIACCConfig:
@@ -139,20 +161,22 @@ def throughput_matrix(models: t.Sequence[str],
     return rows
 
 
-def fig9_cv_pytorch(gpu_counts: t.Sequence[int] = SCALE_AXIS) -> list[dict]:
+def fig9_cv_pytorch(gpu_counts: t.Sequence[int] | None = None) -> list[dict]:
     """Fig. 9: PyTorch CV models, all four backends."""
-    return throughput_matrix(("vgg16", "resnet50", "resnet101"),
-                             gpu_counts=gpu_counts)
+    sweep = FIGURE_SWEEPS["fig9"]
+    return throughput_matrix(sweep["models"], backends=sweep["backends"],
+                             gpu_counts=gpu_counts or sweep["gpus"])
 
 
-def fig10_nlp_pytorch(gpu_counts: t.Sequence[int] = SCALE_AXIS
+def fig10_nlp_pytorch(gpu_counts: t.Sequence[int] | None = None
                       ) -> list[dict]:
     """Fig. 10: PyTorch NLP models, all four backends."""
-    return throughput_matrix(("transformer", "bert-large"),
-                             gpu_counts=gpu_counts)
+    sweep = FIGURE_SWEEPS["fig10"]
+    return throughput_matrix(sweep["models"], backends=sweep["backends"],
+                             gpu_counts=gpu_counts or sweep["gpus"])
 
 
-def fig11_tensorflow(gpu_counts: t.Sequence[int] = SCALE_AXIS
+def fig11_tensorflow(gpu_counts: t.Sequence[int] | None = None
                      ) -> list[dict]:
     """Fig. 11: TensorFlow models — AIACC vs. Horovod all-reduce.
 
@@ -160,27 +184,27 @@ def fig11_tensorflow(gpu_counts: t.Sequence[int] = SCALE_AXIS
     unified AIACC library applies the identical optimization, so the
     backend pair is (aiacc, horovod) over the TF workloads.
     """
-    return throughput_matrix(("vgg16", "resnet50", "bert-large"),
-                             backends=("aiacc", "horovod"),
-                             gpu_counts=gpu_counts)
+    sweep = FIGURE_SWEEPS["fig11"]
+    return throughput_matrix(sweep["models"], backends=sweep["backends"],
+                             gpu_counts=gpu_counts or sweep["gpus"])
 
 
-def fig12_mxnet(gpu_counts: t.Sequence[int] = SCALE_AXIS) -> list[dict]:
+def fig12_mxnet(gpu_counts: t.Sequence[int] | None = None) -> list[dict]:
     """Fig. 12: MXNet models — AIACC vs. the native KVStore PS."""
-    return throughput_matrix(("vgg16", "resnet50"),
-                             backends=("aiacc", "mxnet-kvstore"),
-                             gpu_counts=gpu_counts)
+    sweep = FIGURE_SWEEPS["fig12"]
+    return throughput_matrix(sweep["models"], backends=sweep["backends"],
+                             gpu_counts=gpu_counts or sweep["gpus"])
 
 
 # --------------------------------------------------------------------------
 # Further analysis (§VIII-D)
 # --------------------------------------------------------------------------
 
-def fig13_hybrid(gpu_counts: t.Sequence[int] = (8, 16, 32, 64)
+def fig13_hybrid(gpu_counts: t.Sequence[int] | None = None
                  ) -> list[dict]:
     """Fig. 13: hybrid data+model parallelism, AIACC vs MXNet KVStore."""
     rows = []
-    for gpus in gpu_counts:
+    for gpus in gpu_counts or FIGURE_SWEEPS["fig13"]["gpus"]:
         aiacc = run_hybrid_training(
             "resnet50", "aiacc", gpus, model_parallel_degree=2,
             measure_iterations=3, warmup_iterations=1,

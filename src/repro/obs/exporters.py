@@ -22,6 +22,7 @@ import json
 import pathlib
 import typing as t
 
+from repro.ioutil import atomic_write_text
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.timeline import NETWORK_RANK, StepTimeline
 
@@ -275,21 +276,22 @@ def write_artifacts(directory: str | pathlib.Path,
                     ) -> dict[str, pathlib.Path]:
     """Write trace.json / metrics.prom / timeline.jsonl under a directory.
 
-    Returns ``{artifact_name: path}`` for whatever was written.
+    Every artifact is written atomically (temp file + ``os.replace``):
+    downstream consumers — CI uploads, the report CLI, Perfetto — must
+    never observe a half-written file, even if the exporting process is
+    killed mid-write.  Returns ``{artifact_name: path}`` for whatever
+    was written.
     """
     out_dir = pathlib.Path(directory)
-    out_dir.mkdir(parents=True, exist_ok=True)
     written: dict[str, pathlib.Path] = {}
     if timeline is not None:
-        trace_path = out_dir / "trace.json"
-        trace_path.write_text(json.dumps(chrome_trace_events(timeline)))
-        written["trace"] = trace_path
-        jsonl_path = out_dir / "timeline.jsonl"
-        jsonl_path.write_text(
+        written["trace"] = atomic_write_text(
+            out_dir / "trace.json",
+            json.dumps(chrome_trace_events(timeline)))
+        written["jsonl"] = atomic_write_text(
+            out_dir / "timeline.jsonl",
             "\n".join(jsonl_lines(registry, timeline)) + "\n")
-        written["jsonl"] = jsonl_path
     if registry is not None:
-        prom_path = out_dir / "metrics.prom"
-        prom_path.write_text(prometheus_text(registry))
-        written["prometheus"] = prom_path
+        written["prometheus"] = atomic_write_text(
+            out_dir / "metrics.prom", prometheus_text(registry))
     return written

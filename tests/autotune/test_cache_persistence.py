@@ -1,5 +1,7 @@
 """Tests for settings-cache persistence and elastic timed scaling."""
 
+import json
+
 import pytest
 
 from repro.autotune import ParameterPoint, SettingsCache
@@ -58,6 +60,42 @@ class TestCachePersistence:
         path = tmp_path / "empty.json"
         SettingsCache().save(path)
         assert len(SettingsCache.load(path)) == 0
+
+    def test_corrupt_entry_is_quarantined_not_fatal(self, tmp_path):
+        # One corrupt entry must cost one warm start, not the whole
+        # cache: the good entries still load, the bad one is recorded.
+        cache = SettingsCache()
+        cache.store("rn50@32", get_model("resnet50"), topo(32),
+                    ParameterPoint(12, 16e6, "ring"), 0.2)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        payload.append({"label": "broken", "model": {"oops": True}})
+        path.write_text(json.dumps(payload))
+
+        restored = SettingsCache.load(path)
+        assert len(restored) == 1
+        assert restored.lookup(get_model("resnet50"), topo(32)) is not None
+        assert len(restored.quarantined) == 1
+        entry, reason = restored.quarantined[0]
+        assert entry["label"] == "broken"
+        assert reason
+
+    def test_corrupt_entry_is_logged(self, tmp_path, caplog):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps([{"label": "broken"}]))
+        with caplog.at_level("WARNING", logger="repro.autotune.cache"):
+            restored = SettingsCache.load(path)
+        assert len(restored) == 0
+        assert len(restored.quarantined) == 1
+        assert any("quarantined corrupt entry" in record.message
+                   for record in caplog.records)
+
+    def test_non_list_payload_still_raises(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(AutotuneError):
+            SettingsCache.load(path)
 
 
 class TestElasticScaling:

@@ -1,0 +1,69 @@
+"""Retry/quarantine policy (`repro.campaign.policy`)."""
+
+import pytest
+
+from repro.campaign.policy import FAIL, QUARANTINE, RETRY, RetryPolicy
+from repro.errors import CampaignError
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_backoff_s=0.5, multiplier=2.0,
+                             max_backoff_s=30.0)
+        assert policy.backoff_s(1) == 0.5
+        assert policy.backoff_s(2) == 1.0
+        assert policy.backoff_s(3) == 2.0
+
+    def test_cap(self):
+        policy = RetryPolicy(base_backoff_s=1.0, multiplier=10.0,
+                             max_backoff_s=5.0)
+        assert policy.backoff_s(4) == 5.0
+
+
+class TestDecide:
+    def test_first_failure_retries_with_backoff(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.5)
+        decision = policy.decide(1, "TransientWorkerError", None)
+        assert decision.action == RETRY
+        assert decision.delay_s == 0.5
+
+    def test_repeated_error_class_quarantines(self):
+        # Same class twice in a row on the same spec: deterministic
+        # failure, retrying would burn the budget for nothing.
+        decision = RetryPolicy().decide(2, "InjectedFailure",
+                                        "InjectedFailure")
+        assert decision.action == QUARANTINE
+        assert "repeated" in decision.reason
+
+    def test_changed_error_class_keeps_retrying(self):
+        decision = RetryPolicy(max_attempts=4).decide(
+            2, "InjectedFailure", "TransientWorkerError")
+        assert decision.action == RETRY
+
+    def test_attempt_budget_exhausted_fails(self):
+        decision = RetryPolicy(max_attempts=3).decide(
+            3, "InjectedFailure", "TransientWorkerError")
+        assert decision.action == FAIL
+        assert "attempt" in decision.reason
+
+    def test_quarantine_heuristic_can_be_disabled(self):
+        policy = RetryPolicy(max_attempts=5,
+                             quarantine_repeated_class=False)
+        decision = policy.decide(2, "InjectedFailure", "InjectedFailure")
+        assert decision.action == RETRY
+
+
+class TestPayload:
+    def test_round_trip(self):
+        policy = RetryPolicy(max_attempts=7, base_backoff_s=0.25,
+                             multiplier=3.0, max_backoff_s=9.0,
+                             quarantine_repeated_class=False)
+        assert RetryPolicy.from_payload(policy.to_payload()) == policy
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(CampaignError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(CampaignError):
+            RetryPolicy(multiplier=0.5)

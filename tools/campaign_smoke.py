@@ -1,0 +1,158 @@
+"""Kill-and-resume smoke of the campaign service, used by CI.
+
+The script exercises ISSUE 6's end-to-end invariant on a tiny grid:
+
+1. submit a grid mixing sleep cells with one ``kamikaze`` cell that
+   SIGKILLs its own worker mid-campaign;
+2. run the campaign in a child orchestrator and ``kill -9`` that
+   orchestrator once some cells are done and some are still active;
+3. resume with ``python -m repro campaign resume`` and require that
+   every cell ends terminal, the kamikaze cell recovered, and the final
+   report digest equals that of an uninterrupted control run of the
+   same grid in a fresh store;
+4. write the resulting store summary under ``--out`` for upload.
+
+Exit code 0 only if every check holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.campaign.grid import CampaignGrid  # noqa: E402
+from repro.campaign.policy import RetryPolicy  # noqa: E402
+from repro.campaign.report import (  # noqa: E402
+    load_report,
+    write_report_artifacts,
+)
+from repro.campaign.runner import (  # noqa: E402
+    CampaignRunner,
+    submit_campaign,
+)
+from repro.campaign.store import CampaignStore  # noqa: E402
+
+POLICY = RetryPolicy(max_attempts=3, base_backoff_s=0.05,
+                     max_backoff_s=0.5)
+
+GRIDS = [
+    CampaignGrid(runner="sleep", axes={"cell": tuple(range(6))},
+                 base={"duration_s": 0.25}),
+    CampaignGrid(runner="kamikaze", axes={"cell": (100,)},
+                 base={"die_attempts": 1}),
+]
+
+
+def run_uninterrupted(store_path: pathlib.Path) -> str:
+    with CampaignStore(store_path) as store:
+        campaign_id = submit_campaign(store, GRIDS, name="smoke-control")
+    runner = CampaignRunner(store_path, campaign_id, max_workers=2,
+                            lease_s=1.0, poll_s=0.05, policy=POLICY)
+    counts = runner.run(max_wall_s=120.0)
+    assert counts["done"] == 7, f"control run incomplete: {counts}"
+    with CampaignStore(store_path) as store:
+        return load_report(store, campaign_id).digest()
+
+
+def spawn_orchestrator(store_path: pathlib.Path,
+                       campaign_id: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "run",
+         "--store", str(store_path), "--id", str(campaign_id),
+         "--workers", "2", "--lease", "1.0",
+         "--max-attempts", "3", "--backoff", "0.05"],
+        env=env)
+
+
+def wait_for_kill_window(store_path: pathlib.Path, campaign_id: int,
+                         proc: subprocess.Popen) -> dict:
+    deadline = time.monotonic() + 120.0
+    with CampaignStore(store_path) as store:
+        while time.monotonic() < deadline:
+            counts = store.counts(campaign_id)
+            if counts["done"] >= 2 and store.active_count(campaign_id):
+                return counts
+            if proc.poll() is not None:
+                raise SystemExit(
+                    f"orchestrator finished before the kill window: "
+                    f"{counts}")
+            time.sleep(0.02)
+    raise SystemExit("campaign never reached the kill window")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("results/campaign_smoke"))
+    parser.add_argument("--store", type=pathlib.Path, default=None,
+                        help="store path (default: <out>/campaigns.db)")
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+    store_path = args.store or args.out / "campaigns.db"
+    control_path = args.out / "control.db"
+    for stale in (store_path, control_path):
+        stale.unlink(missing_ok=True)
+
+    control_digest = run_uninterrupted(control_path)
+    print(f"control digest: {control_digest}")
+
+    with CampaignStore(store_path) as store:
+        campaign_id = submit_campaign(store, GRIDS, name="smoke-killed")
+    proc = spawn_orchestrator(store_path, campaign_id)
+    try:
+        at_kill = wait_for_kill_window(store_path, campaign_id, proc)
+        print(f"kill -9 orchestrator at {at_kill}")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=60)
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "resume",
+         str(campaign_id), "--store", str(store_path),
+         "--workers", "2", "--lease", "1.0",
+         "--max-attempts", "3", "--backoff", "0.05"],
+        env={**os.environ,
+             "PYTHONPATH": str(SRC) + os.pathsep +
+             os.environ.get("PYTHONPATH", "")})
+    if result.returncode != 0:
+        raise SystemExit(f"resume exited {result.returncode}")
+
+    with CampaignStore(store_path) as store:
+        report = load_report(store, campaign_id)
+        counts = store.counts(campaign_id)
+    write_report_artifacts(args.out, report)
+    summary = {
+        "counts": counts,
+        "digest": report.digest(),
+        "control_digest": control_digest,
+        "counts_at_kill": at_kill,
+    }
+    (args.out / "smoke.json").write_text(json.dumps(summary, indent=2))
+    print(json.dumps(summary, indent=2))
+
+    assert counts["done"] == 7, f"resume left cells unfinished: {counts}"
+    assert report.complete, "report not complete after resume"
+    assert report.digest() == control_digest, (
+        f"digest mismatch: interrupted {report.digest()} != "
+        f"control {control_digest}")
+    kamikaze = [r for r in report.rows if r.runner == "kamikaze"][0]
+    assert kamikaze.state == "done" and kamikaze.attempt >= 2, (
+        f"kamikaze cell did not recover: {kamikaze.state} "
+        f"after {kamikaze.attempt} attempts")
+    print("campaign smoke OK: kill -9 + resume matches uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
