@@ -1,0 +1,32 @@
+"""§V: planner-synthesized backends vs spine oversubscription.
+
+Shape criteria: on a healthy fabric the NVLink-aware algorithms
+(hierarchical and the planner schedules) all beat the flat ring, and
+in-network aggregation is *not* the winner — its switch detour costs
+latency the healthy NICs don't repay.  On a 4:1 oversubscribed
+leaf-spine core the ordering flips: ina moves ~S(1+1/m) bytes per node
+through the core instead of ~2S, so it must win outright.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import planner_backend_sweep
+
+
+def test_planner_backend_sweep(benchmark, record_table):
+    rows = run_once(benchmark, planner_backend_sweep)
+    record_table("planner_backends", rows,
+                 "Planner backends vs spine oversubscription (§V)")
+    by_scenario = {row["scenario"]: row for row in rows}
+
+    healthy = by_scenario["healthy"]
+    oversub = by_scenario["oversubscribed"]
+    # Healthy fabric: hierarchical-style schedules beat the flat ring,
+    # and the switch-aggregation detour does not pay off.
+    assert healthy["hierarchical_ms"] < healthy["ring_ms"]
+    assert healthy["best"] != "ina"
+    # Oversubscribed spine: in-network aggregation wins outright.
+    assert oversub["best"] == "ina"
+    assert oversub["ina_ms"] < oversub["hierarchical_ms"]
+    assert oversub["ina_ms"] < oversub["ring_ms"]
+    # Congestion hurts everyone, but ina least of the planner backends.
+    assert oversub["ina_ms"] > healthy["ina_ms"]

@@ -40,6 +40,9 @@ class StepScenario:
     model: str = "resnet50"
     algorithm: str = "ring"
     congested: bool = False
+    #: Leaf-spine core oversubscription (> 1 inserts the shared core
+    #: link every inter-node flow traverses — the planner's home turf).
+    core_oversubscription: float = 1.0
     #: Generous wall-clock ceiling (seconds) per simulated step; trips
     #: on order-of-magnitude regressions, not scheduler noise.
     budget_s: float = 2.0
@@ -56,6 +59,9 @@ SCENARIOS = (
     StepScenario("stress-256r-hier", ranks=256, streams=24,
                  model="vgg16", algorithm="hierarchical", congested=True,
                  budget_s=8.0),
+    StepScenario("planner-128r-ina", ranks=128, streams=4,
+                 algorithm="ina", core_oversubscription=4.0,
+                 budget_s=4.0),
 )
 
 
@@ -67,10 +73,13 @@ def build_step_context(scenario: StepScenario
     backend = make_backend("aiacc", config=config)
     spec = get_model(scenario.model)
     congested = {0: 0.9} if scenario.congested else None
+    full_link_default = (congested is None
+                         and scenario.core_oversubscription == 1.0)
     ctx = build_train_context(
         spec, backend, scenario.ranks, spec.default_batch_size,
         congested_links=congested,
-        representative=False if congested is None else None)
+        core_oversubscription=scenario.core_oversubscription,
+        representative=False if full_link_default else None)
     warm = ctx.sim.spawn(backend.warmup(ctx), name="warmup")
     ctx.sim.run(until=warm)
     return ctx, backend

@@ -21,7 +21,11 @@ from repro.autotune.graph_distance import (
 from repro.autotune.grid import GridSearch
 from repro.autotune.hyperband import Hyperband
 from repro.autotune.pbt import PopulationBasedTraining
-from repro.autotune.space import ParameterPoint, SearchSpace
+from repro.autotune.space import (
+    EXTENDED_ALGORITHMS,
+    ParameterPoint,
+    SearchSpace,
+)
 from repro.autotune.techniques import SearchTechnique
 from repro.autotune.tuner import (
     AutoTuner,
@@ -36,6 +40,7 @@ __all__ = [
     "AutoTuner",
     "BayesianOptimization",
     "CacheEntry",
+    "EXTENDED_ALGORITHMS",
     "GridSearch",
     "Hyperband",
     "ParameterPoint",

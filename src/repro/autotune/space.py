@@ -25,6 +25,15 @@ DEFAULT_STREAMS = (2, 4, 8, 12, 16, 20, 24)
 DEFAULT_GRANULARITIES_MB = (1, 2, 4, 8, 16, 32, 64, 128)
 DEFAULT_ALGORITHMS = ("ring", "hierarchical")
 
+#: Candidate set extended with the planner-synthesized backends
+#: (:mod:`repro.collectives.planner`).  Opt-in — pass it explicitly as
+#: ``SearchSpace(algorithms=EXTENDED_ALGORITHMS)`` — so existing
+#: deployments keep the paper's two-algorithm grid; note that
+#: halving-doubling only runs on power-of-two node counts (the
+#: evaluator charges an infeasibility penalty elsewhere).
+EXTENDED_ALGORITHMS = DEFAULT_ALGORITHMS + (
+    "halving-doubling", "multi-tree", "ina")
+
 
 @dataclasses.dataclass(frozen=True, order=True)
 class ParameterPoint:

@@ -162,17 +162,29 @@ class AutoTuner:
                           trials=tuple(trials))
 
 
+#: Cost charged to a candidate whose algorithm cannot run on the
+#: deployment's shape (e.g. halving-doubling on a non-power-of-two node
+#: count).  Large but finite so surrogate models stay well-conditioned
+#: while the point can never become the global best.
+INFEASIBLE_COST_S = 1e6
+
+
 def make_evaluator(model: str, num_gpus: int,
                    batch_per_gpu: int | None = None,
                    transport: t.Any = None,
-                   nic_bandwidth_bps: float = 30e9
+                   nic_bandwidth_bps: float = 30e9,
+                   core_oversubscription: float = 1.0
                    ) -> t.Callable[[ParameterPoint], float]:
     """Build the cost function: one simulated iteration's duration.
 
     Each call constructs a fresh deployment with the candidate's
     parameters and measures a single steady-state training iteration —
     the analogue of the paper's measure-one-warm-up-iteration protocol.
+    ``core_oversubscription > 1`` evaluates candidates on a cluster with
+    a shared leaf-spine core, where congestion-aware algorithm choice
+    (multi-tree, in-network aggregation) pays off.
     """
+    from repro.errors import CollectiveError
     from repro.core.runtime import AIACCConfig
     from repro.frameworks import make_backend
     from repro.sim.tcp import TCP
@@ -184,13 +196,17 @@ def make_evaluator(model: str, num_gpus: int,
             granularity_bytes=point.granularity_bytes,
             algorithm=point.algorithm,
         )
-        result = run_training(
-            model, make_backend("aiacc", config=config), num_gpus,
-            batch_per_gpu=batch_per_gpu,
-            measure_iterations=1, warmup_iterations=0,
-            transport=transport or TCP,
-            nic_bandwidth_bps=nic_bandwidth_bps,
-        )
+        try:
+            result = run_training(
+                model, make_backend("aiacc", config=config), num_gpus,
+                batch_per_gpu=batch_per_gpu,
+                measure_iterations=1, warmup_iterations=0,
+                transport=transport or TCP,
+                nic_bandwidth_bps=nic_bandwidth_bps,
+                core_oversubscription=core_oversubscription,
+            )
+        except CollectiveError:
+            return INFEASIBLE_COST_S
         return result.mean_iteration_s
 
     return evaluate

@@ -47,7 +47,7 @@ from repro.errors import ReproError
 EXPERIMENTS = (
     "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
     "scaling", "ctr", "dawnbench", "autotune", "bandwidth", "congested",
-    "insightface", "futuregpu",
+    "planner", "insightface", "futuregpu",
 )
 
 
@@ -295,6 +295,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "fig15": ("model", ["speedup"]),
         "bandwidth": ("streams", ["utilization"]),
         "congested": ("scenario", ["hierarchical_speedup"]),
+        "planner": ("scenario", ["ring_ms", "hierarchical_ms", "ina_ms"]),
     }
 
     runners: dict[str, tuple[t.Callable[[], list], str]] = {
@@ -316,6 +317,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                       "TCP utilisation (§III)"),
         "congested": (harness.congested_algorithm_choice,
                       "Algorithm choice under congestion (§V-B)"),
+        "planner": (harness.planner_backend_sweep,
+                    "Planner backends vs spine oversubscription (§V)"),
         "insightface": (harness.insightface_speedup,
                         "InsightFace face recognition (§VIII-C)"),
         "futuregpu": (harness.future_gpu_whatif,

@@ -24,7 +24,10 @@ from repro.collectives.broadcast import broadcast, broadcast_worker
 from repro.collectives.cost_model import (
     CostParams,
     broadcast_time_s,
+    halving_doubling_time_s,
     hierarchical_allreduce_time_s,
+    ina_time_s,
+    multi_tree_time_s,
     ring_allreduce_time_s,
     ring_volume_bytes,
 )
@@ -40,6 +43,19 @@ from repro.collectives.primitives import (
     finalize_op,
     split_chunks,
 )
+from repro.collectives.planner import (
+    PLANNER_ALGORITHMS,
+    CollectivePlanner,
+    CollectiveSchedule,
+    FlowSpec,
+    SchedulePhase,
+    halving_doubling_allreduce,
+    halving_doubling_allreduce_worker,
+    ina_allreduce,
+    multi_tree_allreduce,
+    multi_tree_allreduce_worker,
+    planned_numeric_allreduce,
+)
 from repro.collectives.ring import ring_allreduce, ring_allreduce_worker
 from repro.collectives.scatter_gather import (
     allgather,
@@ -51,8 +67,13 @@ from repro.collectives.timed import ALGORITHMS, TimedCollectives
 
 __all__ = [
     "ALGORITHMS",
+    "PLANNER_ALGORITHMS",
+    "CollectivePlanner",
+    "CollectiveSchedule",
     "CostParams",
+    "FlowSpec",
     "ReduceOp",
+    "SchedulePhase",
     "TimedCollectives",
     "allgather",
     "allgather_worker",
@@ -71,9 +92,18 @@ __all__ = [
     "chunk_bounds",
     "concat_chunks",
     "finalize_op",
+    "halving_doubling_allreduce",
+    "halving_doubling_allreduce_worker",
+    "halving_doubling_time_s",
     "hierarchical_allreduce",
     "hierarchical_allreduce_time_s",
     "hierarchical_allreduce_worker",
+    "ina_allreduce",
+    "ina_time_s",
+    "multi_tree_allreduce",
+    "multi_tree_allreduce_worker",
+    "multi_tree_time_s",
+    "planned_numeric_allreduce",
     "reduce_scatter",
     "reduce_scatter_worker",
     "ring_allreduce",

@@ -16,6 +16,16 @@ import dataclasses
 
 from repro.errors import CollectiveError
 
+#: Device-wide synchronization charged between macro phases of the
+#: multi-phase algorithms (hierarchical and the planner backends).  The
+#: timed executor and the planner import this so closed forms and
+#: simulated schedules charge the identical constant.
+PHASE_SYNC_S = 2e-3
+
+#: Store-and-forward latency of the in-network aggregation point (FPGA
+#: pipeline fill, single-digit microseconds per the SmartNIC paper).
+INA_SWITCH_LATENCY_S = 10e-6
+
 
 @dataclasses.dataclass(frozen=True)
 class CostParams:
@@ -33,6 +43,15 @@ class CostParams:
     inter_alpha_s: float
     #: Per-message overhead on the intra-node path (s).
     intra_alpha_s: float = 5e-6
+    #: One-way inter-node wire latency (s); the planner closed forms
+    #: charge it per exchange round on top of the software overhead.
+    inter_latency_s: float = 100e-6
+    #: Capacity of the shared (oversubscribed) datacenter core link, or
+    #: ``None`` for a non-blocking fabric.
+    core_bps: float | None = None
+    #: Aggregate reduction throughput of the in-network aggregation
+    #: point; ``None`` means line rate on every port (non-blocking).
+    ina_agg_bps: float | None = None
 
     def __post_init__(self) -> None:
         if self.world_size < 1 or self.num_nodes < 1:
@@ -65,7 +84,7 @@ def ring_allreduce_time_s(size_bytes: float, params: CostParams,
     """
     n = params.world_size
     m = params.num_nodes
-    if n == 1:
+    if n == 1 or size_bytes <= 0:
         return 0.0
     hop_bytes = ring_volume_bytes(size_bytes, n)
     steps = 2 * (n - 1)
@@ -73,7 +92,14 @@ def ring_allreduce_time_s(size_bytes: float, params: CostParams,
     if m == 1:
         return hop_bytes * 8.0 / params.nvlink_bps + alpha
     bandwidth = min(params.nic_stream_bps * streams, params.nic_total_bps)
+    if params.core_bps is not None:
+        bandwidth = min(bandwidth, params.core_bps / m)
     nic_time = hop_bytes * 8.0 / bandwidth
+    if params.gpus_per_node == 1:
+        # One GPU per node: the flat ring never touches NVLink, so the
+        # intra-node term must not appear (previously it did, inflating
+        # the estimate whenever NVLink was slower than the NIC path).
+        return nic_time + alpha
     nvlink_time = hop_bytes * 8.0 / params.nvlink_bps
     return max(nic_time, nvlink_time) + alpha
 
@@ -88,7 +114,7 @@ def hierarchical_allreduce_time_s(size_bytes: float,
     n = params.world_size
     m = params.num_nodes
     g = params.gpus_per_node
-    if n == 1:
+    if n == 1 or size_bytes <= 0:
         return 0.0
     if m == 1 or g == 1:
         return ring_allreduce_time_s(size_bytes, params)
@@ -102,6 +128,8 @@ def hierarchical_allreduce_time_s(size_bytes: float,
     shard = size_bytes / g
     hop_bytes = ring_volume_bytes(shard, m)
     bandwidth = min(params.nic_stream_bps * g, params.nic_total_bps) / g
+    if params.core_bps is not None:
+        bandwidth = min(bandwidth, params.core_bps / (m * g))
     inter_time = hop_bytes * 8.0 / bandwidth
     inter_alpha = 2 * (m - 1) * params.inter_alpha_s
 
@@ -110,10 +138,136 @@ def hierarchical_allreduce_time_s(size_bytes: float,
 
 def broadcast_time_s(size_bytes: float, params: CostParams) -> float:
     """Pipelined ring broadcast of ``size_bytes`` to all workers."""
-    if params.world_size == 1:
+    if params.world_size == 1 or size_bytes <= 0:
         return 0.0
     if params.num_nodes == 1:
         return size_bytes * 8.0 / params.nvlink_bps + \
             params.world_size * params.intra_alpha_s
     return size_bytes * 8.0 / params.nic_stream_bps + \
         params.num_nodes * params.inter_alpha_s
+
+
+# -- planner-backend closed forms -------------------------------------------
+#
+# These mirror, phase for phase, the schedules synthesized by
+# :class:`repro.collectives.planner.CollectivePlanner`; the differential
+# tests hold the simulated execution inside a tolerance band of them.
+# Shared structure: an optional intra-node reduce-scatter / all-gather
+# pair (identical to the hierarchical algorithm's phases 1 and 3, with a
+# device sync at each macro boundary), around an algorithm-specific
+# inter-node stage.
+
+
+def _intra_wrap_time_s(size_bytes: float, params: CostParams) -> float:
+    """Intra-node RS + AG phases plus their two macro-boundary syncs."""
+    g = params.gpus_per_node
+    if g == 1:
+        return 0.0
+    intra_bytes = 2.0 * size_bytes * (g - 1) / g
+    return intra_bytes * 8.0 / params.nvlink_bps \
+        + 2 * (g - 1) * params.intra_alpha_s + 2 * PHASE_SYNC_S
+
+
+def _exposed_s(per_stream_bytes: float, params: CostParams) -> float:
+    """Per-message overhead not hidden behind a stream's wire time."""
+    return max(0.0, params.inter_alpha_s
+               - per_stream_bytes * 8.0 / params.nic_stream_bps)
+
+
+def _single_node_time_s(size_bytes: float, params: CostParams) -> float:
+    """All planner backends degenerate to the NVLink ring on one node."""
+    n = params.world_size
+    return ring_volume_bytes(size_bytes, n) * 8.0 / params.nvlink_bps \
+        + 2 * (n - 1) * params.intra_alpha_s
+
+
+def halving_doubling_time_s(size_bytes: float,
+                            params: CostParams) -> float:
+    """Recursive halving/doubling all-reduce across nodes.
+
+    ``2 log2(m)`` exchange rounds; round ``k`` of the reduce-scatter
+    moves ``(S/g) / 2^(k+1)`` bytes per stream, the all-gather mirrors
+    the sizes.  Bandwidth-optimal like the ring, but latency scales with
+    ``log m`` instead of ``m``.
+    """
+    m = params.num_nodes
+    g = params.gpus_per_node
+    if params.world_size == 1 or size_bytes <= 0:
+        return 0.0
+    if m == 1:
+        return _single_node_time_s(size_bytes, params)
+    if m & (m - 1):
+        raise CollectiveError(
+            f"halving-doubling requires a power-of-two node count, got {m}"
+        )
+    per_stream_bw = min(params.nic_stream_bps, params.nic_total_bps / g)
+    if params.core_bps is not None:
+        per_stream_bw = min(per_stream_bw, params.core_bps / (m * g))
+    total = _intra_wrap_time_s(size_bytes, params)
+    rounds = m.bit_length() - 1
+    for k in range(rounds):
+        per_stream = (size_bytes / g) / (1 << (k + 1))
+        round_time = per_stream * 8.0 / per_stream_bw \
+            + 2 * params.inter_latency_s + _exposed_s(per_stream, params)
+        total += 2 * round_time  # the AG round mirrors the RS round
+    return total
+
+
+def multi_tree_time_s(size_bytes: float, params: CostParams) -> float:
+    """Blink-style packed star trees: two inter-node rounds total.
+
+    Each node concurrently serves ``m - 1`` chunk trees of
+    ``S / (g m)`` bytes per stream, so the NIC carries ``g (m - 1)``
+    streams at once in each of the two phases.
+    """
+    m = params.num_nodes
+    g = params.gpus_per_node
+    if params.world_size == 1 or size_bytes <= 0:
+        return 0.0
+    if m == 1:
+        return _single_node_time_s(size_bytes, params)
+    per_stream = size_bytes / (g * m)
+    streams_per_nic = g * (m - 1)
+    per_stream_bw = min(params.nic_stream_bps,
+                        params.nic_total_bps / streams_per_nic)
+    if params.core_bps is not None:
+        per_stream_bw = min(per_stream_bw,
+                            params.core_bps / (m * streams_per_nic))
+    phase_time = per_stream * 8.0 / per_stream_bw \
+        + 2 * params.inter_latency_s + _exposed_s(per_stream, params)
+    return _intra_wrap_time_s(size_bytes, params) + 2 * phase_time
+
+
+def ina_time_s(size_bytes: float, params: CostParams) -> float:
+    """In-network aggregation: one uplink copy, one multicast copy.
+
+    Up phase: every node ships its reduced shard set (``S`` bytes as
+    ``g`` streams) to the aggregation point, whose pipeline throughput
+    ``ina_agg_bps`` is shared by all ``m`` nodes.  Down phase: the
+    result crosses the spine once (multicast trunk) and fans out over
+    every node's NIC-in concurrently.
+    """
+    m = params.num_nodes
+    g = params.gpus_per_node
+    if params.world_size == 1 or size_bytes <= 0:
+        return 0.0
+    if m == 1:
+        return _single_node_time_s(size_bytes, params)
+    per_stream = size_bytes / g
+
+    up_bw = min(params.nic_stream_bps * g, params.nic_total_bps)
+    if params.core_bps is not None:
+        up_bw = min(up_bw, params.core_bps / m)
+    if params.ina_agg_bps is not None:
+        up_bw = min(up_bw, params.ina_agg_bps / m)
+    up_time = size_bytes * 8.0 / up_bw + 1.5 * params.inter_latency_s \
+        + _exposed_s(per_stream, params) + INA_SWITCH_LATENCY_S
+
+    down_bw = min(params.nic_stream_bps * g, params.nic_total_bps)
+    down_time = size_bytes * 8.0 / down_bw
+    if params.core_bps is not None:
+        down_time = max(down_time, size_bytes * 8.0 / params.core_bps)
+    down_time += 1.5 * params.inter_latency_s \
+        + _exposed_s(per_stream, params)
+
+    return _intra_wrap_time_s(size_bytes, params) + up_time + down_time

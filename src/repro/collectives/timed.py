@@ -19,15 +19,18 @@ import typing as t
 
 from repro.errors import CollectiveError
 from repro.collectives.cost_model import ring_volume_bytes
-from repro.obs import Observability
+from repro.collectives.planner import PLANNER_ALGORITHMS, CollectivePlanner
+from repro.obs import NETWORK_RANK, Observability
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.network import FluidNetwork, Link
 from repro.sim.topology import Cluster
 from repro.sim.tracing import Trace
 
-#: Supported all-reduce algorithm names (paper Section V-B).
-ALGORITHMS = ("ring", "hierarchical")
+#: Supported all-reduce algorithm names: the two legacy hard-coded
+#: schedules (paper Section V-B) plus the topology-synthesized planner
+#: backends (halving-doubling, multi-tree, in-network aggregation).
+ALGORITHMS = ("ring", "hierarchical") + PLANNER_ALGORITHMS
 
 #: Minimum same-instant flow fan-out before a collective inserts its
 #: flows through the batched :meth:`~repro.sim.network.FluidNetwork.
@@ -99,6 +102,12 @@ class TimedCollectives:
                 "representative mode requires a symmetric cluster"
             )
         self.representative = representative
+        #: Lazily built topology-aware planner (halving-doubling,
+        #: multi-tree, ina).  Planner schedules always place the full
+        #: link set — their flow patterns are not NIC-symmetric (e.g.
+        #: the ina multicast trunk), so representative sampling would
+        #: mis-count shared links.
+        self._planner: CollectivePlanner | None = None
 
     # -- public API -------------------------------------------------------
 
@@ -125,7 +134,10 @@ class TimedCollectives:
         algorithm:
             ``"ring"`` — flat topology-aware ring over all GPUs;
             ``"hierarchical"`` — intra-node reduce-scatter, ``g`` parallel
-            inter-node rings, intra-node all-gather.
+            inter-node rings, intra-node all-gather;
+            ``"halving-doubling"`` / ``"multi-tree"`` / ``"ina"`` —
+            planner-synthesized schedules (see
+            :mod:`repro.collectives.planner`).
         cap_scale:
             Multiplier on the transport's per-stream rate cap.  1.0 models
             a well-tuned stack (Horovod's documented NCCL socket tuning);
@@ -149,10 +161,17 @@ class TimedCollectives:
         if stalled is not None:
             return stalled
         start = self.sim.now
-        if algorithm == "ring":
+        if size_bytes == 0 or self.cluster.world_size == 1:
+            # Degenerate all-reduce: nothing crosses any link.  Complete
+            # at zero cost rather than launching empty flows (which would
+            # still pay link latencies and α terms).
+            inner = self.sim.timeout(0.0)
+        elif algorithm == "ring":
             inner = self._ring(size_bytes, cap_scale)
-        else:
+        elif algorithm == "hierarchical":
             inner = self._hierarchical(size_bytes, cap_scale)
+        else:
+            inner = self._planned(algorithm, size_bytes, cap_scale)
 
         done = self.sim.event(name=f"allreduce.{algorithm}")
 
@@ -200,6 +219,11 @@ class TimedCollectives:
         stalled = self._stalled("broadcast")
         if stalled is not None:
             return stalled
+        if size_bytes <= 0 or self.cluster.world_size == 1:
+            # Nothing to move (or nobody to move it to): zero-cost, no
+            # flows — a single-worker "broadcast" is a no-op, not an
+            # NVLink transfer of the full payload to itself.
+            return self.sim.timeout(0.0)
         m = self.cluster.num_nodes
         if m == 1:
             flow = self.network.start_flow(
@@ -210,6 +234,76 @@ class TimedCollectives:
             rate_cap_bps=self.cluster.stream_cap_bps(src_node))
             for src_node, hop in self._nic_hops()]
         return self.sim.all_of(flows)
+
+    def alltoall(self, size_bytes: float) -> Event:
+        """Timed all-to-all: each worker exchanges ``size_bytes`` split
+        evenly across all ``n`` workers (staggered-partner schedule).
+
+        Returns an event triggering at completion.
+        """
+        stalled = self._stalled("alltoall")
+        if stalled is not None:
+            return stalled
+        n = self.cluster.world_size
+        if size_bytes <= 0 or n == 1:
+            return self.sim.timeout(0.0)
+        m = self.cluster.num_nodes
+        g = self.cluster.spec.gpus_per_node
+        spec = self.cluster.spec
+        specs: list[tuple[list[Link], float, float | None, int]] = []
+        # Bytes leaving node i for other nodes: g senders x (n - g)/n of
+        # their payload each.
+        if m > 1:
+            inter_bytes = g * size_bytes * (n - g) / n
+            for src_node, hop in self._nic_hops():
+                cap = self.cluster.stream_cap_bps(src_node)
+                specs.append((hop, inter_bytes, cap, g))
+            alpha = (n - 1) * spec.inter_node_latency_s
+        else:
+            alpha = (n - 1) * spec.intra_node_latency_s
+        if g > 1:
+            intra_bytes = g * size_bytes * (g - 1) / n
+            for fabric in self._nvlink_fabrics():
+                specs.append(([fabric], intra_bytes, None, 1))
+        if not specs:
+            return self.sim.timeout(alpha)
+        done = self.sim.all_of(self._launch(specs, label="alltoall"))
+        return self._after(done, alpha)
+
+    def reduce_scatter(self, size_bytes: float) -> Event:
+        """Timed ring reduce-scatter of ``size_bytes`` (half a ring
+        all-reduce: ``n - 1`` steps, ``S (n-1)/n`` bytes per hop)."""
+        return self._half_ring("reduce_scatter", size_bytes)
+
+    def allgather(self, size_bytes: float) -> Event:
+        """Timed ring all-gather of ``size_bytes`` (the other half)."""
+        return self._half_ring("allgather", size_bytes)
+
+    def _half_ring(self, name: str, size_bytes: float) -> Event:
+        stalled = self._stalled(name)
+        if stalled is not None:
+            return stalled
+        n = self.cluster.world_size
+        if size_bytes <= 0 or n == 1:
+            return self.sim.timeout(0.0)
+        m = self.cluster.num_nodes
+        spec = self.cluster.spec
+        hop_bytes = ring_volume_bytes(size_bytes, n) / 2.0
+        specs: list[tuple[list[Link], float, float | None, int]] = []
+        if m > 1:
+            for src_node, hop in self._nic_hops():
+                cap = self.cluster.stream_cap_bps(src_node)
+                specs.append((hop, hop_bytes, cap, 1))
+            if spec.gpus_per_node > 1:
+                for fabric in self._nvlink_fabrics():
+                    specs.append(([fabric], hop_bytes, None, 1))
+            alpha = (n - 1) * spec.inter_node_latency_s
+        else:
+            alpha = (n - 1) * spec.intra_node_latency_s
+            for fabric in self._nvlink_fabrics():
+                specs.append(([fabric], hop_bytes, None, 1))
+        done = self.sim.all_of(self._launch(specs, label=name))
+        return self._after(done, alpha)
 
     # -- algorithm schedules -------------------------------------------------
 
@@ -234,18 +328,41 @@ class TimedCollectives:
             return [self.cluster.nvlink[0]]
         return list(self.cluster.nvlink)
 
-    def _launch(self, specs: list[tuple[list[Link], float, float | None,
-                                        int]]) -> list[Event]:
+    def _launch(self, specs: t.Sequence[tuple[t.Sequence[Link], float,
+                                              float | None, int]],
+                label: str | None = None) -> list[Event]:
         """Start one flow per ``(links, bytes, cap, weight)`` spec.
 
         Large fan-outs go through the batched allocator path; small ones
-        keep per-flow insertion (see ``AGGREGATE_MIN_FLOWS``).
+        keep per-flow insertion (see ``AGGREGATE_MIN_FLOWS``).  ``label``
+        stamps every launched flow with its algorithm for telemetry.
         """
-        if len(specs) >= AGGREGATE_MIN_FLOWS:
-            return self.network.start_flows(specs)
-        return [self.network.start_flow(links, size_bytes,
-                                        rate_cap_bps=cap, weight=weight)
-                for links, size_bytes, cap, weight in specs]
+        network = self.network
+        previous = network.flow_label
+        if label is not None:
+            network.flow_label = label
+        try:
+            if len(specs) >= AGGREGATE_MIN_FLOWS:
+                return network.start_flows(specs)
+            return [network.start_flow(links, size_bytes,
+                                       rate_cap_bps=cap, weight=weight)
+                    for links, size_bytes, cap, weight in specs]
+        finally:
+            network.flow_label = previous
+
+    def _slowest_stream_cap_bps(self, hops: t.Sequence[tuple[int, t.Any]],
+                                cap_scale: float) -> float:
+        """Per-stream cap of the slowest hop in a schedule.
+
+        Exposed per-chunk overhead must be computed against the slowest
+        NIC on the ring's path: the pipeline advances at the pace of its
+        most constrained hop, so on clusters with heterogeneous NIC caps
+        the default node's cap underestimates chunk wire time.  On
+        symmetric clusters every cap is the identical float, so the min
+        changes nothing (replay digests included).
+        """
+        return min(self.cluster.stream_cap_bps(src_node)
+                   for src_node, _hop in hops) * cap_scale
 
     def _ring(self, size_bytes: float, cap_scale: float = 1.0) -> Event:
         """Flat topology-aware ring across all ``n`` GPUs."""
@@ -263,15 +380,17 @@ class TimedCollectives:
             # transmission: only the part exceeding the chunk's wire time
             # is exposed on the critical path.  Small units at large n
             # (tiny chunks) therefore pay the overhead; big fusion
-            # buffers hide it.
-            cap = self.cluster.stream_cap_bps() * cap_scale
-            chunk_tx = (size_bytes / n) * 8.0 / cap
+            # buffers hide it.  The wire time is set by the slowest hop
+            # of the ring, not the default node's NIC.
+            hops = self._nic_hops()
+            slowest = self._slowest_stream_cap_bps(hops, cap_scale)
+            chunk_tx = (size_bytes / n) * 8.0 / slowest
             exposed = max(0.0,
                           spec.transport.per_message_overhead_s - chunk_tx)
             alpha = steps * exposed
             fill = m * spec.inter_node_latency_s + \
                 (n - m) * spec.intra_node_latency_s
-            for src_node, hop in self._nic_hops():
+            for src_node, hop in hops:
                 cap = self.cluster.stream_cap_bps(src_node) * cap_scale
                 specs.append((hop, hop_bytes, cap, 1))
             if spec.gpus_per_node > 1:
@@ -283,7 +402,7 @@ class TimedCollectives:
             for fabric in self._nvlink_fabrics():
                 specs.append(([fabric], hop_bytes, None, 1))
 
-        all_flows = self.sim.all_of(self._launch(specs))
+        all_flows = self.sim.all_of(self._launch(specs, label="ring"))
         return self._after(all_flows, alpha + fill)
 
     def _hierarchical(self, size_bytes: float,
@@ -301,7 +420,7 @@ class TimedCollectives:
             yield self.sim.all_of(self._launch([
                 ([fabric], rs_bytes, None, 1)
                 for fabric in self._nvlink_fabrics()
-            ]))
+            ], label="hierarchical"))
             yield self.sim.timeout((g - 1) * spec.intra_node_latency_s
                                    + HIERARCHICAL_PHASE_SYNC_S)
 
@@ -310,17 +429,21 @@ class TimedCollectives:
             # cap) — at scale they collapse into one weighted flow.
             shard_hop = ring_volume_bytes(size_bytes / g, m)
             bundle = m >= WEIGHTED_RING_MIN_NODES
+            hops = self._nic_hops()
             specs: list[tuple[list[Link], float, float | None, int]] = []
-            for src_node, hop in self._nic_hops():
+            for src_node, hop in hops:
                 cap = self.cluster.stream_cap_bps(src_node) * cap_scale
                 if bundle:
                     specs.append((hop, shard_hop * g, cap, g))
                 else:
                     specs.extend((hop, shard_hop, cap, 1)
                                  for _local in range(g))
-            yield self.sim.all_of(self._launch(specs))
+            yield self.sim.all_of(self._launch(specs,
+                                               label="hierarchical"))
+            # Exposed overhead is paced by the slowest hop of the
+            # inter-node rings (see _slowest_stream_cap_bps).
             shard_chunk_tx = (size_bytes / g / m) * 8.0 / \
-                (self.cluster.stream_cap_bps() * cap_scale)
+                self._slowest_stream_cap_bps(hops, cap_scale)
             exposed = max(0.0, spec.transport.per_message_overhead_s
                           - shard_chunk_tx)
             yield self.sim.timeout(
@@ -332,10 +455,38 @@ class TimedCollectives:
             yield self.sim.all_of(self._launch([
                 ([fabric], ag_bytes, None, 1)
                 for fabric in self._nvlink_fabrics()
-            ]))
+            ], label="hierarchical"))
             yield self.sim.timeout((g - 1) * spec.intra_node_latency_s)
 
         return self.sim.spawn(schedule(), name="hier.allreduce")
+
+    def _planned(self, algorithm: str, size_bytes: float,
+                 cap_scale: float) -> Event:
+        """Execute a planner-synthesized schedule phase by phase."""
+        planner = self._planner
+        if planner is None:
+            planner = self._planner = CollectivePlanner(self.cluster)
+        schedule = planner.plan(algorithm, size_bytes, cap_scale)
+        if not schedule.phases:
+            return self.sim.timeout(0.0)
+        timeline = self.obs.timeline
+
+        def run() -> t.Generator:
+            for phase in schedule.phases:
+                phase_start = self.sim.now
+                specs = [flow.as_request() for flow in phase.flows
+                         if flow.size_bytes > 0]
+                if specs:
+                    yield self.sim.all_of(
+                        self._launch(specs, label=algorithm))
+                if phase.latency_s > 0:
+                    yield self.sim.timeout(phase.latency_s)
+                timeline.span(
+                    f"collective.{phase.name}", "collective",
+                    NETWORK_RANK, phase_start, self.sim.now,
+                    algorithm=algorithm, bytes=size_bytes)
+
+        return self.sim.spawn(run(), name=f"planned.{algorithm}")
 
     def _after(self, event: Event, extra_delay_s: float) -> Event:
         """An event firing ``extra_delay_s`` after ``event`` triggers."""

@@ -355,10 +355,12 @@ class AIACCBackend(DDLBackend):
         for unit in units:
             self._m_unit_bytes.observe(unit.nbytes)
 
-        # A hierarchical unit occupies one CUDA stream per local GPU for
-        # its phase-2 parallel rings; a flat-ring unit occupies one.
-        streams_per_unit = spec.gpus_per_node \
-            if self.config.algorithm == "hierarchical" else 1
+        # A hierarchical or planner-synthesized unit occupies one CUDA
+        # stream per local GPU for its inter-node stage (g parallel
+        # rings / per-shard exchange streams); a flat-ring unit
+        # occupies one.
+        streams_per_unit = 1 if self.config.algorithm == "ring" \
+            else spec.gpus_per_node
         for unit in units:
             def work(nbytes: float = unit.nbytes) -> t.Any:
                 return ctx.collectives.allreduce(

@@ -38,7 +38,9 @@ class AIACCConfig:
     #: Target byte size of one all-reduce unit; small tensors are merged
     #: up to it and large tensors split down to it (paper §V-B).
     granularity_bytes: float = 16e6
-    #: "ring" or "hierarchical" (the paper's tree) all-reduce.
+    #: All-reduce algorithm: "ring", "hierarchical" (the paper's tree),
+    #: or a planner-synthesized backend ("halving-doubling",
+    #: "multi-tree", "ina" — see :mod:`repro.collectives.planner`).
     algorithm: str = "ring"
     #: Transmit gradients as fp16 (Section X: "half-precision
     #: representation to accelerate gradient transmission").
@@ -85,9 +87,10 @@ class AIACCConfig:
                 "granularity_bytes must be within "
                 f"[{MIN_GRANULARITY_BYTES}, {MAX_GRANULARITY_BYTES}]"
             )
-        if self.algorithm not in ("ring", "hierarchical"):
+        from repro.collectives.timed import ALGORITHMS
+        if self.algorithm not in ALGORITHMS:
             raise ReproError(
-                f"algorithm must be 'ring' or 'hierarchical', "
+                f"algorithm must be one of {ALGORITHMS}, "
                 f"got {self.algorithm!r}"
             )
         if self.autotune_budget < 1:

@@ -32,6 +32,7 @@ from repro.harness.experiments import (
     future_gpu_whatif,
     insightface_speedup,
     measure,
+    planner_backend_sweep,
     scaling_efficiency_summary,
     throughput_matrix,
     tuned_aiacc_config,
@@ -69,6 +70,7 @@ __all__ = [
     "future_gpu_whatif",
     "insightface_speedup",
     "measure",
+    "planner_backend_sweep",
     "save_report",
     "scaling_efficiency_summary",
     "series_summary",

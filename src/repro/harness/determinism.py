@@ -60,20 +60,30 @@ class DeterminismProbe:
     #: Event-sequence digest; ``None`` when invariants are off.
     digest: str | None
     iteration_times_s: tuple[float, ...]
+    #: All-reduce algorithm of the probed run.
+    algorithm: str = "ring"
 
     @property
     def key(self) -> str:
         """Stable identifier used by the golden-digest file."""
         return probe_key(self.ranks, self.streams, self.faults,
-                         self.invariants, self.seed)
+                         self.invariants, self.seed, self.algorithm)
 
 
 def probe_key(ranks: int, streams: int, faults: bool, invariants: bool,
-              seed: int) -> str:
-    """Canonical name of one matrix cell (JSON key in the golden file)."""
-    return (f"r{ranks}-s{streams}"
-            f"-{'faults' if faults else 'nofaults'}"
-            f"-{'inv' if invariants else 'noinv'}-seed{seed}")
+              seed: int, algorithm: str = "ring") -> str:
+    """Canonical name of one matrix cell (JSON key in the golden file).
+
+    The default ring algorithm keeps the legacy key format so existing
+    golden entries stay addressable; planner-backend cells append an
+    ``-<algorithm>`` suffix.
+    """
+    key = (f"r{ranks}-s{streams}"
+           f"-{'faults' if faults else 'nofaults'}"
+           f"-{'inv' if invariants else 'noinv'}-seed{seed}")
+    if algorithm != "ring":
+        key += f"-{algorithm}"
+    return key
 
 
 def _fault_layout(ranks: int) -> int:
@@ -86,20 +96,24 @@ def _fault_layout(ranks: int) -> int:
 def run_probe(ranks: int, streams: int = 4, faults: bool = False,
               invariants: bool = True, seed: int = 0,
               iterations: int = 2, model: str = PROBE_MODEL,
-              ) -> DeterminismProbe:
+              algorithm: str = "ring") -> DeterminismProbe:
     """Run one matrix cell and return its digest + iteration times."""
     if faults:
+        if algorithm != "ring":
+            raise TrainingError(
+                "fault probes only cover the ring algorithm")
         return _run_fault_probe(ranks, streams, invariants, seed,
                                 iterations, model)
     return _run_clean_probe(ranks, streams, invariants, seed,
-                            iterations, model)
+                            iterations, model, algorithm)
 
 
 def _run_clean_probe(ranks: int, streams: int, invariants: bool,
-                     seed: int, iterations: int,
-                     model: str) -> DeterminismProbe:
+                     seed: int, iterations: int, model: str,
+                     algorithm: str = "ring") -> DeterminismProbe:
     spec = get_model(model)
-    config = AIACCConfig(num_streams=streams, check_invariants=invariants)
+    config = AIACCConfig(num_streams=streams, check_invariants=invariants,
+                         algorithm=algorithm)
     backend = make_backend("aiacc", config=config)
     sim = Simulator(check_invariants=invariants)
     ctx = build_train_context(
@@ -115,7 +129,7 @@ def _run_clean_probe(ranks: int, streams: int, invariants: bool,
     return DeterminismProbe(
         ranks=ranks, streams=streams, faults=False, invariants=invariants,
         seed=seed, digest=sim.state_digest(),
-        iteration_times_s=tuple(times))
+        iteration_times_s=tuple(times), algorithm=algorithm)
 
 
 def _run_fault_probe(ranks: int, streams: int, invariants: bool,

@@ -355,6 +355,44 @@ def congested_algorithm_choice(num_gpus: int = 32,
     return rows
 
 
+def planner_backend_sweep(num_gpus: int = 32,
+                          size_bytes: float = 100e6,
+                          oversubscription: float = 4.0) -> list[dict]:
+    """§V: planner-synthesized backends vs the built-in all-reduces.
+
+    Times one steady-state all-reduce per algorithm — flat ring,
+    hierarchical, and the three planner schedules (halving-doubling,
+    multi-tree, in-network aggregation) — on a healthy fabric and on a
+    leaf-spine core oversubscribed ``oversubscription``:1.  The ``ina``
+    backend pushes ~S(1+1/m) bytes per node through the core instead of
+    the ring's ~2S, so it should win exactly when the spine is the
+    bottleneck and lose when the NICs are.
+    """
+    from repro.collectives.timed import ALGORITHMS, TimedCollectives
+    from repro.sim.kernel import Simulator
+    from repro.sim.network import FluidNetwork
+    from repro.sim.topology import alibaba_v100_cluster
+
+    rows = []
+    for scenario, over in (("healthy", 1.0),
+                           ("oversubscribed", oversubscription)):
+        times: dict[str, float] = {}
+        for algorithm in ALGORITHMS:
+            sim = Simulator()
+            cluster = alibaba_v100_cluster(
+                sim, num_gpus, core_oversubscription=over)
+            timed = TimedCollectives(sim, FluidNetwork(sim), cluster)
+            done = timed.allreduce(size_bytes, algorithm=algorithm)
+            sim.run(until=done)
+            times[algorithm] = sim.now
+        row: dict[str, t.Any] = {"scenario": scenario}
+        row.update({f"{name}_ms": times[name] * 1e3
+                    for name in ALGORITHMS})
+        row["best"] = min(times, key=lambda name: times[name])
+        rows.append(row)
+    return rows
+
+
 def insightface_speedup(num_gpus: int = 128) -> list[dict]:
     """§VIII-C: InsightFace face recognition, AIACC vs hand-tuned Horovod.
 

@@ -98,13 +98,15 @@ class Flow:
 
     __slots__ = ("flow_id", "links", "size_bits", "remaining_bits",
                  "rate_cap_bps", "rate_bps", "done", "started_at",
-                 "_last_update", "tail_latency_s", "weight", "_finish_s")
+                 "_last_update", "tail_latency_s", "weight", "_finish_s",
+                 "label")
 
     _ids = itertools.count()
 
     def __init__(self, links: t.Sequence[Link], size_bits: float,
                  rate_cap_bps: float | None, done: Event, now: float,
-                 tail_latency_s: float = 0.0, weight: int = 1) -> None:
+                 tail_latency_s: float = 0.0, weight: int = 1,
+                 label: str | None = None) -> None:
         if size_bits < 0:
             raise NetworkError(f"flow size must be non-negative, got {size_bits}")
         if not links:
@@ -126,6 +128,9 @@ class Flow:
         self._last_update = now
         self.tail_latency_s = tail_latency_s
         self.weight = weight
+        #: Optional provenance tag (e.g. the collective algorithm that
+        #: placed this flow); surfaces in flow telemetry, never in rates.
+        self.label = label
         #: Cached seconds-to-completion at the current (rate, remaining);
         #: ``inf`` while the rate is zero.  Kept equal to the division
         #: ``remaining_bits / rate_bps`` the wakeup scan used to perform
@@ -236,6 +241,11 @@ class FluidNetwork:
         #: with its achieved rate and bottleneck utilisation (Fig. 3's
         #: per-stream link-utilisation measurement), plus flow metrics.
         self.obs = None
+        #: Provenance tag stamped on every flow created while set (the
+        #: timed collectives set it to the running algorithm's name so
+        #: flow telemetry can be sliced per algorithm).  Purely
+        #: observational: it never influences rate assignment.
+        self.flow_label: str | None = None
 
     # -- public API -------------------------------------------------------
 
@@ -261,7 +271,8 @@ class FluidNetwork:
             self.sim._schedule_at(self.sim.now + latency, done, latency)
             return done
         flow = Flow(links, size_bytes * 8.0, rate_cap_bps, done, self.sim.now,
-                    tail_latency_s=latency, weight=weight)
+                    tail_latency_s=latency, weight=weight,
+                    label=self.flow_label)
         self._advance_progress()
         if flow.remaining_bits <= _COMPLETE_BITS:
             self._maybe_finished = True
@@ -304,7 +315,8 @@ class FluidNetwork:
                 self.sim._schedule_at(now + latency, done, latency)
                 continue
             flows.append(Flow(links, size_bytes * 8.0, rate_cap_bps, done,
-                              now, tail_latency_s=latency, weight=weight))
+                              now, tail_latency_s=latency, weight=weight,
+                              label=self.flow_label))
         if not flows:
             return events
         self._advance_progress()
@@ -544,20 +556,25 @@ class FluidNetwork:
         obs = self.obs
         from repro.obs.timeline import NETWORK_RANK
 
-        obs.timeline.span(
-            "flow", "net", NETWORK_RANK, flow.started_at, self.sim.now,
+        span_meta: dict[str, object] = dict(
             lane=bottleneck.name, bytes=flow.size_bits / 8.0,
             rate_bps=rate, utilisation=utilisation,
             capped=flow.rate_cap_bps is not None)
+        metric_labels: dict[str, str] = {"link": bottleneck.name}
+        if flow.label is not None:
+            span_meta["algorithm"] = flow.label
+            metric_labels["algorithm"] = flow.label
+        obs.timeline.span(
+            "flow", "net", NETWORK_RANK, flow.started_at, self.sim.now,
+            **span_meta)
         registry = obs.registry
         registry.counter(
             "network_flows_total",
-            "Completed flows per bottleneck link").inc(
-                link=bottleneck.name)
+            "Completed flows per bottleneck link").inc(**metric_labels)
         registry.counter(
             "network_bytes_total",
             "Bytes delivered per bottleneck link").inc(
-                flow.size_bits / 8.0, link=bottleneck.name)
+                flow.size_bits / 8.0, **metric_labels)
         registry.histogram(
             "network_flow_utilisation",
             "Per-flow achieved rate over bottleneck link capacity",

@@ -244,11 +244,14 @@ def alibaba_v100_cluster(sim: Simulator, num_gpus: int,
                          transport: TransportModel = TCP,
                          nic_bandwidth_bps: float = 30e9,
                          gpus_per_node: int = 8,
-                         gpu: GPUSpec = V100) -> Cluster:
+                         gpu: GPUSpec = V100,
+                         core_oversubscription: float = 1.0) -> Cluster:
     """Build the paper's evaluation cluster for ``num_gpus`` workers.
 
     GPUs are packed 8 per node (``ecs.gn6e-c12g1.24xlarge``); ``num_gpus``
     below 8 yields a single partially filled node.
+    ``core_oversubscription > 1`` inserts the shared leaf-spine core
+    link (see :class:`Cluster`).
     """
     if num_gpus < 1:
         raise TopologyError(f"num_gpus must be >= 1, got {num_gpus}")
@@ -262,4 +265,5 @@ def alibaba_v100_cluster(sim: Simulator, num_gpus: int,
     spec = NodeSpec(gpus_per_node=gpus_per_node,
                     nic_bandwidth_bps=nic_bandwidth_bps,
                     transport=transport, gpu=gpu)
-    return Cluster(sim, num_gpus // gpus_per_node, spec)
+    return Cluster(sim, num_gpus // gpus_per_node, spec,
+                   core_oversubscription=core_oversubscription)

@@ -87,6 +87,7 @@ def build_train_context(
     representative: bool | None = None,
     sim: Simulator | None = None,
     obs: Observability | None = None,
+    core_oversubscription: float = 1.0,
 ) -> TrainContext:
     """Build a fresh simulator + cluster + network training context.
 
@@ -110,12 +111,14 @@ def build_train_context(
                              transport=transport,
                              gpu=gpu_spec or V100)
         cluster = Cluster(sim, num_gpus // gpus_per_node, node_spec,
-                          congested_links=congested_links)
+                          congested_links=congested_links,
+                          core_oversubscription=core_oversubscription)
     else:
         cluster = alibaba_v100_cluster(
             sim, num_gpus, transport=transport,
             nic_bandwidth_bps=nic_bandwidth_bps,
-            gpus_per_node=gpus_per_node, gpu=gpu_spec or V100)
+            gpus_per_node=gpus_per_node, gpu=gpu_spec or V100,
+            core_oversubscription=core_oversubscription)
     run_trace = trace or Trace(enabled=True)
     obs = obs or Observability.disabled()
     # The fluid network only pays per-flow telemetry when something will
@@ -154,6 +157,7 @@ def run_training(
     congested_links: t.Mapping[int, float] | None = None,
     gpu_spec: t.Any = None,
     obs: Observability | None = None,
+    core_oversubscription: float = 1.0,
 ) -> ThroughputResult:
     """Simulate distributed training and measure steady-state throughput.
 
@@ -173,6 +177,10 @@ def run_training(
     congested_links:
         Optional ``node -> capacity_fraction`` map injecting cross-tenant
         congestion (forces the slower full-link simulation mode).
+    core_oversubscription:
+        Leaf-spine oversubscription ratio; ``> 1`` inserts the shared
+        core link every inter-node flow traverses (also forces full-link
+        mode, since the shared core breaks NIC symmetry).
     gpu_spec:
         GPU model override (defaults to the paper's V100); pass
         :data:`repro.sim.cuda.A100` for future-hardware what-ifs.
@@ -194,7 +202,7 @@ def run_training(
         gpus_per_node=gpus_per_node, trace=trace,
         extra_forward_time_s=extra_forward_time_s,
         congested_links=congested_links, gpu_spec=gpu_spec,
-        obs=obs,
+        obs=obs, core_oversubscription=core_oversubscription,
     )
     sim = ctx.sim
 

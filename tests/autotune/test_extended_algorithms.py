@@ -1,0 +1,69 @@
+"""Auto-tuner over the planner-extended algorithm space.
+
+The extended search space adds the planner-synthesized backends
+(halving-doubling, multi-tree, in-network aggregation) to the paper's
+ring/hierarchical grid.  On an oversubscribed leaf-spine core the tuner
+must *find* that in-network aggregation wins — the acceptance test for
+wiring the planner into the bandit — and an algorithm that cannot run on
+the deployment's shape must be charged the infeasibility penalty rather
+than crash the search.
+"""
+
+from repro.autotune import (
+    AutoTuner,
+    EXTENDED_ALGORITHMS,
+    GridSearch,
+    ParameterPoint,
+    SearchSpace,
+    make_evaluator,
+)
+from repro.autotune.tuner import INFEASIBLE_COST_S
+
+
+def algorithm_only_space() -> SearchSpace:
+    """Pin streams/granularity so the grid enumerates only algorithms."""
+    return SearchSpace(streams=(16,), granularities_mb=(8,),
+                       algorithms=EXTENDED_ALGORITHMS)
+
+
+class TestExtendedSpace:
+    def test_extended_space_contains_planner_backends(self):
+        space = algorithm_only_space()
+        assert set(space.algorithms) == {
+            "ring", "hierarchical", "halving-doubling", "multi-tree", "ina"}
+        assert len(space) == 5
+
+    def test_tuner_selects_ina_on_oversubscribed_spine(self):
+        space = algorithm_only_space()
+        tuner = AutoTuner(space=space, techniques=[GridSearch(space)],
+                          budget=len(space), seed=0)
+        evaluate = make_evaluator("resnet50", 32,
+                                  core_oversubscription=4.0)
+        result = tuner.tune(evaluate)
+        # Every algorithm was tried once; the spine is the bottleneck,
+        # so in-network aggregation must come out on top.
+        assert len(result.trials) == 5
+        assert result.best_point.algorithm == "ina"
+
+    def test_ina_does_not_win_on_healthy_fabric(self):
+        space = algorithm_only_space()
+        tuner = AutoTuner(space=space, techniques=[GridSearch(space)],
+                          budget=len(space), seed=0)
+        result = tuner.tune(make_evaluator("resnet50", 32))
+        assert result.best_point.algorithm != "ina"
+        assert result.best_cost_s < INFEASIBLE_COST_S
+
+    def test_infeasible_shape_charged_penalty_not_crash(self):
+        # 24 GPUs = 3 nodes: halving-doubling needs a power-of-two node
+        # count, so its trial must cost the penalty, never win, and the
+        # search must still complete.
+        evaluate = make_evaluator("resnet50", 24,
+                                  core_oversubscription=4.0)
+        bad = ParameterPoint(16, 8e6, "halving-doubling")
+        assert evaluate(bad) == INFEASIBLE_COST_S
+        space = algorithm_only_space()
+        tuner = AutoTuner(space=space, techniques=[GridSearch(space)],
+                          budget=len(space), seed=0)
+        result = tuner.tune(evaluate)
+        assert result.best_point.algorithm != "halving-doubling"
+        assert result.best_cost_s < INFEASIBLE_COST_S

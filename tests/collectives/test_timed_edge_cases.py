@@ -1,0 +1,204 @@
+"""Regression tests: timed-collective edge cases and heterogeneous NICs.
+
+Three bug classes pinned here:
+
+* the flat ring's exposed per-chunk overhead was computed from the
+  *default* node's per-stream cap even though the pipeline advances at
+  the pace of the slowest hop — wrong whenever NIC caps differ;
+* degenerate cluster shapes (``gpus_per_node == 1``, single node,
+  ``world_size == num_nodes``) where the closed-form cost model used to
+  charge phantom NVLink terms;
+* zero-byte and single-participant collectives, which must complete at
+  zero cost instead of launching empty flows that still pay α terms.
+"""
+
+import pytest
+
+from repro.collectives import TimedCollectives
+from repro.collectives.cost_model import (
+    CostParams,
+    hierarchical_allreduce_time_s,
+    ring_allreduce_time_s,
+)
+from repro.sim import FluidNetwork, Simulator, alibaba_v100_cluster
+from repro.sim.topology import Cluster, NodeSpec
+
+
+def make_context(num_gpus, congested_links=None, gpus_per_node=8):
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    if congested_links:
+        cluster = Cluster(sim, num_gpus // gpus_per_node,
+                          NodeSpec(gpus_per_node=gpus_per_node),
+                          congested_links=congested_links)
+    else:
+        cluster = alibaba_v100_cluster(sim, num_gpus,
+                                       gpus_per_node=gpus_per_node)
+    return sim, TimedCollectives(sim, net, cluster), cluster
+
+
+def analytic_params(cluster):
+    return CostParams(
+        world_size=cluster.world_size,
+        num_nodes=cluster.num_nodes,
+        nic_stream_bps=cluster.stream_cap_bps(),
+        nic_total_bps=cluster.nic_out[0].capacity_bps
+        if cluster.num_nodes > 1 else cluster.spec.nic_bandwidth_bps,
+        nvlink_bps=cluster.spec.gpu.nvlink_bps,
+        inter_alpha_s=cluster.spec.transport.per_message_overhead_s,
+    )
+
+
+class TestHeterogeneousNicCaps:
+    """Exposed overhead must be paced by the slowest hop, not node 0's."""
+
+    def test_slowest_cap_helper_scans_all_hops(self):
+        _sim, timed, cluster = make_context(
+            32, congested_links={2: 0.5})
+        hops = timed._nic_hops()
+        assert timed._slowest_stream_cap_bps(hops, 1.0) == \
+            cluster.stream_cap_bps(2)
+        assert cluster.stream_cap_bps(2) < cluster.stream_cap_bps(0)
+
+    @pytest.mark.parametrize("algorithm", ["ring", "hierarchical"])
+    def test_ring_invariant_under_congested_node_relabeling(
+            self, algorithm):
+        # A ring is rotationally symmetric: congesting node 0 and
+        # congesting node 1 are the same deployment with nodes renamed,
+        # so completion times must match exactly.  The old code read the
+        # per-chunk cap from node 0 only, so the two runs disagreed
+        # whenever node 0 happened (not) to be the congested one.
+        times = []
+        for node in (0, 1):
+            sim, timed, _cluster = make_context(
+                32, congested_links={node: 0.25})
+            done = timed.allreduce(4e6, algorithm=algorithm)
+            sim.run(until=done)
+            times.append(sim.now)
+        assert times[0] == pytest.approx(times[1], rel=1e-12)
+
+    def test_congested_hop_slows_the_ring(self):
+        sim, timed, _cluster = make_context(32)
+        done = timed.allreduce(4e6)
+        sim.run(until=done)
+        healthy = sim.now
+        sim, timed, _cluster = make_context(32, congested_links={1: 0.25})
+        done = timed.allreduce(4e6)
+        sim.run(until=done)
+        assert sim.now > healthy
+
+
+class TestDegenerateShapeDifferential:
+    """Closed forms vs simulation at the corner shapes (satellite sweep)."""
+
+    PAYLOADS = [16e6, 100e6]
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    @pytest.mark.parametrize("num_nodes", [2, 4, 8])
+    def test_world_size_equals_num_nodes(self, num_nodes, payload):
+        # One GPU per node: no NVLink phase exists on either side.
+        sim, timed, cluster = make_context(num_nodes, gpus_per_node=1)
+        done = timed.allreduce(payload, algorithm="ring")
+        sim.run(until=done)
+        analytic = ring_allreduce_time_s(payload, analytic_params(cluster))
+        assert sim.now == pytest.approx(analytic, rel=0.35)
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_hierarchical_degrades_to_ring_at_g1(self, payload):
+        sim, timed, cluster = make_context(4, gpus_per_node=1)
+        done = timed.allreduce(payload, algorithm="hierarchical")
+        sim.run(until=done)
+        analytic = hierarchical_allreduce_time_s(
+            payload, analytic_params(cluster))
+        assert sim.now == pytest.approx(analytic, rel=0.35)
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_single_node(self, payload):
+        sim, timed, cluster = make_context(8)
+        done = timed.allreduce(payload, algorithm="ring")
+        sim.run(until=done)
+        analytic = ring_allreduce_time_s(payload, analytic_params(cluster))
+        assert sim.now == pytest.approx(analytic, rel=0.35)
+
+    def test_zero_bytes_is_free_in_both_models(self):
+        sim, timed, cluster = make_context(32)
+        params = analytic_params(cluster)
+        assert ring_allreduce_time_s(0.0, params) == 0.0
+        assert hierarchical_allreduce_time_s(0.0, params) == 0.0
+        done = timed.allreduce(0.0)
+        sim.run(until=done)
+        assert sim.now == 0.0
+
+    def test_single_worker_is_free_in_both_models(self):
+        sim, timed, cluster = make_context(1, gpus_per_node=1)
+        params = analytic_params(cluster)
+        assert ring_allreduce_time_s(64e6, params) == 0.0
+        done = timed.allreduce(64e6)
+        sim.run(until=done)
+        assert sim.now == 0.0
+
+
+class TestZeroAndSingleParticipant:
+    """Degenerate collectives complete instantly, without flows."""
+
+    ALGORITHMS = ["ring", "hierarchical", "halving-doubling",
+                  "multi-tree", "ina"]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_zero_byte_allreduce_every_algorithm(self, algorithm):
+        sim, timed, _cluster = make_context(32)
+        done = timed.allreduce(0.0, algorithm=algorithm)
+        sim.run(until=done)
+        assert sim.now == 0.0
+        assert done.value == 0.0
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_worker_allreduce_every_algorithm(self, algorithm):
+        sim, timed, _cluster = make_context(1, gpus_per_node=1)
+        done = timed.allreduce(128e6, algorithm=algorithm)
+        sim.run(until=done)
+        assert sim.now == 0.0
+
+    def test_zero_byte_allreduce_still_counted_in_telemetry(self):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        sim = Simulator()
+        cluster = alibaba_v100_cluster(sim, 32)
+        timed = TimedCollectives(sim, FluidNetwork(sim), cluster, obs=obs)
+        done = timed.allreduce(0.0)
+        sim.run(until=done)
+        counter = obs.registry.counter("allreduce_total", "")
+        assert counter.value(algorithm="ring") == 1
+
+    def test_zero_byte_broadcast_and_friends(self):
+        sim, timed, _cluster = make_context(32)
+        for op in (timed.broadcast, timed.alltoall,
+                   timed.reduce_scatter, timed.allgather):
+            done = op(0.0)
+            sim.run(until=done)
+        assert sim.now == 0.0
+
+    def test_single_worker_broadcast_and_friends(self):
+        sim, timed, _cluster = make_context(1, gpus_per_node=1)
+        for op in (timed.broadcast, timed.alltoall,
+                   timed.reduce_scatter, timed.allgather):
+            done = op(64e6)
+            sim.run(until=done)
+        assert sim.now == 0.0
+
+    def test_nonzero_collectives_cost_time(self):
+        # Guard the guard: real payloads on a real cluster still pay.
+        for op_name in ("broadcast", "alltoall", "reduce_scatter",
+                        "allgather"):
+            sim, timed, _cluster = make_context(32)
+            done = getattr(timed, op_name)(64e6)
+            sim.run(until=done)
+            assert sim.now > 0.0, op_name
+
+    def test_negative_size_rejected(self):
+        from repro.errors import CollectiveError
+
+        _sim, timed, _cluster = make_context(32)
+        with pytest.raises(CollectiveError):
+            timed.allreduce(-1.0)

@@ -35,12 +35,17 @@ MATRIX = [
     for ranks in (2, 8, 32)
     for streams in (1, 4)
     for faults in (False, True)
+] + [
+    # Planner-backend cell: the in-network-aggregation schedule runs
+    # through the fluid network's multi-phase planned path, so its event
+    # schedule gets the same cross-commit pin as the legacy algorithms.
+    {"ranks": 8, "streams": 4, "faults": False, "algorithm": "ina"},
 ]
 
 
 def cell_id(cell):
     return probe_key(cell["ranks"], cell["streams"], cell["faults"],
-                     True, 0)
+                     True, 0, cell.get("algorithm", "ring"))
 
 
 class TestGoldenDigests:

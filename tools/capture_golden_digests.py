@@ -29,6 +29,10 @@ GOLDEN_CELLS: tuple[dict, ...] = tuple(
     for ranks in (2, 8, 32)
     for streams in (1, 4)
     for faults in (False, True)
+) + (
+    # Planner-backend cell (in-network aggregation schedule).
+    {"ranks": 8, "streams": 4, "faults": False, "invariants": True,
+     "seed": 0, "algorithm": "ina"},
 )
 
 
