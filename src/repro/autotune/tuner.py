@@ -133,6 +133,8 @@ class AutoTuner:
                 self.bandit.reward(name, improved)
             self._m_trials.inc(technique=name)
             self._m_trial_cost.observe(cost, technique=name)
+            if self.obs.diag is not None:
+                self.obs.diag.observe_tuner_trial(index, name, cost)
             trials.append(Trial(index, name, point, cost, improved))
             if improved:
                 logger.debug(

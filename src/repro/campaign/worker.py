@@ -70,7 +70,15 @@ def _aiacc_overrides(params: t.Mapping[str, object]) -> dict:
 
 
 def measure_runner(params: dict, _ctx: RunContext) -> dict:
-    """One throughput cell: model x backend x gpus (x stream tuning)."""
+    """One throughput cell: model x backend x gpus (x stream tuning).
+
+    ``"diagnose": true`` in the cell parameters runs the cell under a
+    full observability bundle with streaming detectors attached and
+    records the typed findings (plus their canonical digest) in the
+    durable result, so a campaign doubles as a regression sweep.  Cells
+    without the flag record exactly the pre-diagnosis result payload —
+    existing campaign digests are stable.
+    """
     from repro.frameworks import make_backend
     from repro.harness.experiments import tuned_aiacc_config
     from repro.sim.rdma import RDMA, RDMA_DEFAULT_BANDWIDTH_BPS
@@ -88,6 +96,12 @@ def measure_runner(params: dict, _ctx: RunContext) -> dict:
         if overrides:
             config = config.replace(**overrides)
         backend = make_backend("aiacc", config=config)
+    obs = None
+    if params.get("diagnose"):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        obs.attach_detectors()
     result = run_training(
         model, backend, gpus,
         batch_per_gpu=(int(t.cast(int, params["batch_per_gpu"]))
@@ -95,8 +109,9 @@ def measure_runner(params: dict, _ctx: RunContext) -> dict:
         measure_iterations=int(t.cast(int, params.get("iterations", 3))),
         warmup_iterations=1,
         transport=RDMA if rdma else TCP,
-        nic_bandwidth_bps=(RDMA_DEFAULT_BANDWIDTH_BPS if rdma else 30e9))
-    return {
+        nic_bandwidth_bps=(RDMA_DEFAULT_BANDWIDTH_BPS if rdma else 30e9),
+        obs=obs)
+    payload: dict[str, object] = {
         "model": result.model,
         "backend": result.backend,
         "gpus": result.num_gpus,
@@ -106,6 +121,13 @@ def measure_runner(params: dict, _ctx: RunContext) -> dict:
         "scaling_efficiency": result.scaling_efficiency,
         "exposed_comm_s": result.exposed_comm_s,
     }
+    if obs is not None:
+        from repro.obs.diagnosis import diagnose
+
+        report = diagnose(obs)
+        payload["findings"] = [f.record() for f in report.findings]
+        payload["findings_digest"] = report.findings_digest
+    return payload
 
 
 def hybrid_runner(params: dict, _ctx: RunContext) -> dict:

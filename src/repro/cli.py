@@ -32,6 +32,14 @@ Commands
     pool, ``status`` it, ``resume`` an interrupted campaign (workers or
     the orchestrator may be killed at any instant), and ``report`` the
     recorded results with a resume-invariant digest.
+``diagnose``
+    Self-diagnosing runtime: run the benchmark baseline scenario under
+    streaming detectors, emit typed findings (markdown/JSONL/Perfetto
+    annotations), and evaluate the declarative SLOs against the pinned
+    ``BENCH_simulator.json`` baseline (or a campaign store).  Exits
+    non-zero on an SLO breach (2) or on findings at/above ``--fail-on``
+    (3); ``--from-artifacts``/``--from-campaign`` re-diagnose recorded
+    runs instead of simulating.
 """
 
 from __future__ import annotations
@@ -234,6 +242,64 @@ def build_parser() -> argparse.ArgumentParser:
     creport.add_argument("--out", type=pathlib.Path, default=None,
                          help="also write summary.md / runs.jsonl / "
                          "metrics.prom here")
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="run + diagnose: streaming detectors, typed findings, "
+        "SLO regression sentinel")
+    diagnose.add_argument("--baseline", type=pathlib.Path,
+                          default=pathlib.Path("BENCH_simulator.json"),
+                          help="benchmark baseline file "
+                          "(default: BENCH_simulator.json)")
+    diagnose.add_argument("--scenario", default=None,
+                          help="benchmark scenario to measure against "
+                          "(default: step-8r-4s)")
+    diagnose.add_argument("--baseline-label", default=None,
+                          help="benchmark capture label "
+                          "(default: the latest entry)")
+    diagnose.add_argument("--baseline-campaign", type=pathlib.Path,
+                          default=None, metavar="STORE",
+                          help="baseline from a campaign store's best "
+                          "completed cell instead of --baseline")
+    diagnose.add_argument("--iterations", type=int, default=3,
+                          help="measured iterations after one warm "
+                          "iteration (default: 3)")
+    diagnose.add_argument("--slo", type=pathlib.Path, default=None,
+                          help="JSON SLO file (default: the stock SLOs)")
+    diagnose.add_argument("--out", type=pathlib.Path,
+                          default=pathlib.Path("results/diagnosis"),
+                          help="directory for findings.md / "
+                          "findings.jsonl / measurements.json + trace "
+                          "artifacts")
+    diagnose.add_argument("--from-artifacts", type=pathlib.Path,
+                          default=None, metavar="DIR",
+                          help="re-diagnose a recorded run from its "
+                          "timeline.jsonl instead of simulating")
+    diagnose.add_argument("--from-campaign", type=pathlib.Path,
+                          default=None, metavar="STORE",
+                          help="re-diagnose a campaign store's recorded "
+                          "cells (findings persisted by cells with "
+                          "'diagnose': true)")
+    diagnose.add_argument("--campaign-id", type=int, default=None,
+                          help="campaign id inside --from-campaign "
+                          "(default: the latest)")
+    diagnose.add_argument("--fail-on", default="warn",
+                          help="exit 3 when any finding reaches this "
+                          "severity: info|warn|error|critical "
+                          "(default: warn)")
+    diagnose.add_argument("--per-rank", action="store_true",
+                          help="diagnose one message-level per-rank "
+                          "iteration (supports straggler injection) "
+                          "instead of the benchmark scenario")
+    diagnose.add_argument("--model", default="resnet50",
+                          help="model for --per-rank mode")
+    diagnose.add_argument("--straggler-rank", type=int, default=None,
+                          help="with --per-rank: slow this rank's "
+                          "compute down")
+    diagnose.add_argument("--straggler-factor", type=float, default=3.0,
+                          help="compute slowdown factor for "
+                          "--straggler-rank (default: 3.0)")
+    add_check_invariants(diagnose)
 
     return parser
 
@@ -678,6 +744,224 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_diagnosis(args: argparse.Namespace, baseline: t.Any
+                        ) -> tuple[t.Any, t.Any, dict[str, float]]:
+    """Run the baseline's benchmark scenario plain + instrumented.
+
+    The plain (observability-disabled) run prices the instrumented one:
+    ``obs_overhead_frac`` is the wall-clock factor between the best of
+    two instrumented runs and the best of two plain runs, which the
+    ``obs_overhead`` SLO then judges.  Returns the instrumented bundle,
+    its diagnosis, and the run-level measurements.
+    """
+    import time
+
+    from repro.frameworks.base import IterationStats
+    from repro.obs import Observability, diagnose
+
+    def build_and_run(obs: t.Any) -> tuple[float, float]:
+        from repro.core.runtime import AIACCConfig
+        from repro.frameworks import make_backend
+        from repro.models.zoo import get_model
+        from repro.training.trainer import build_train_context
+
+        # The workload *is* the baseline's recorded scenario shape, so
+        # the relative step-time SLO compares like with like (the same
+        # full-link mode the benchmark suite pins).
+        ranks = int(baseline.values.get("ranks", 8))
+        streams = int(baseline.values.get("streams", 4))
+        model = baseline.meta.get("model", "resnet50")
+        algorithm = baseline.meta.get("algorithm", "ring")
+        congested = baseline.meta.get("congested") == "true"
+        config = AIACCConfig(num_streams=streams, algorithm=algorithm)
+        backend = make_backend("aiacc", config=config)
+        spec = get_model(model)
+        congested_links = {0: 0.9} if congested else None
+        ctx = build_train_context(
+            spec, backend, ranks, spec.default_batch_size,
+            congested_links=congested_links,
+            representative=False if congested_links is None else None,
+            obs=obs)
+        warm = ctx.sim.spawn(backend.warmup(ctx), name="warmup")
+        ctx.sim.run(until=warm)
+        times = []
+        for index in range(args.iterations + 1):
+            proc = ctx.sim.spawn(backend.iteration(ctx),
+                                 name=f"iter{index}")
+            ctx.sim.run(until=proc)
+            stats = t.cast(IterationStats, proc.value)
+            if index >= 1:
+                times.append(stats.iteration_time_s)
+        return sum(times) / len(times), ctx.compute_time_s
+
+    def timed(make_obs: t.Callable[[], t.Any]
+              ) -> tuple[float, tuple[t.Any, float, float]]:
+        best_wall = float("inf")
+        kept = None
+        for _ in range(2):
+            obs = make_obs()
+            start = time.perf_counter()
+            mean, compute = build_and_run(obs)
+            best_wall = min(best_wall, time.perf_counter() - start)
+            if kept is None:
+                kept = (obs, mean, compute)
+        return best_wall, t.cast(tuple, kept)
+
+    def instrumented() -> t.Any:
+        obs = Observability(enabled=True)
+        obs.attach_detectors()
+        return obs
+
+    plain_wall, _ = timed(Observability.disabled)
+    inst_wall, (obs, mean_step_s, compute_s) = timed(instrumented)
+
+    report = diagnose(obs)
+    measurements = {
+        "simulated_step_s": mean_step_s,
+        "scaling_efficiency": compute_s / mean_step_s
+        if mean_step_s > 0 else 0.0,
+        "obs_overhead_frac": inst_wall / plain_wall
+        if plain_wall > 0 else 1.0,
+    }
+    return obs, report, measurements
+
+
+def _per_rank_diagnosis(args: argparse.Namespace) -> tuple[t.Any, t.Any]:
+    """Diagnose one message-level per-rank iteration."""
+    from repro.obs import Observability, diagnose
+    from repro.obs.report import build_step_report
+
+    obs = Observability(enabled=True)
+    obs.attach_detectors()
+    skew = None
+    if args.straggler_rank is not None:
+        skew = {args.straggler_rank: args.straggler_factor}
+    step_report = build_step_report(model=args.model, obs=obs,
+                                    compute_skew=skew)
+    return obs, diagnose(obs, attributions=step_report.attributions)
+
+
+def _campaign_diagnosis(store: pathlib.Path, campaign_id: int | None
+                        ) -> tuple[t.Any, dict[str, float]]:
+    """Aggregate the findings recorded by a campaign's diagnosed cells."""
+    from repro.campaign.report import load_report_from_path
+    from repro.obs import DiagnosisReport, Finding, parse_severity
+
+    report = load_report_from_path(store, campaign_id)
+    findings = []
+    diagnosed = 0
+    best: tuple[float, t.Any] | None = None
+    for row in report.rows:
+        if row.state != "done" or not isinstance(row.result, dict):
+            continue
+        value = row.result.get("mean_iteration_s")
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and (best is None or float(value) < best[0]):
+            best = (float(value), row)
+        records = row.result.get("findings")
+        if records is None:
+            continue
+        diagnosed += 1
+        for rec in records:
+            evidence = tuple(sorted(dict(rec.get("evidence", {})).items()))
+            findings.append(Finding(
+                severity=parse_severity(str(rec.get("severity", "WARN"))),
+                component=str(rec.get("component", "runtime")),
+                kind=str(rec.get("kind", "unknown")),
+                subject=str(rec.get("subject", row.spec_id)),
+                message=str(rec.get("message", "")),
+                time_s=float(rec.get("time_s", 0.0)),
+                evidence=evidence + (("spec_id", row.spec_id),)))
+    findings.sort(key=lambda f: (-int(f.severity), f.component, f.kind,
+                                 f.subject, f.time_s))
+    print(f"campaign {report.campaign_id} ({report.name}): "
+          f"{diagnosed} diagnosed cell(s)")
+    measurements: dict[str, float] = {}
+    if best is not None:
+        efficiency = best[1].result.get("scaling_efficiency")
+        if isinstance(efficiency, (int, float)):
+            measurements["scaling_efficiency"] = float(efficiency)
+    return DiagnosisReport(findings=tuple(findings)), measurements
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.obs import (
+        DEFAULT_SLOS,
+        evaluate_slos,
+        load_artifacts,
+        load_bench_baseline,
+        load_campaign_baseline,
+        load_slos,
+        parse_severity,
+        write_diagnosis_artifacts,
+    )
+    from repro.obs.baselines import DEFAULT_BENCH_SCENARIO
+    from repro.obs.diagnosis import diagnose
+
+    slos = load_slos(args.slo) if args.slo is not None else DEFAULT_SLOS
+    fail_floor = parse_severity(args.fail_on)
+
+    def bench_baseline() -> t.Any:
+        return load_bench_baseline(
+            args.baseline,
+            scenario=args.scenario or DEFAULT_BENCH_SCENARIO,
+            label=args.baseline_label)
+
+    baseline = None
+    if args.baseline_campaign is not None:
+        baseline = load_campaign_baseline(args.baseline_campaign)
+
+    measurements: dict[str, float] = {}
+    obs = None
+    if args.from_artifacts is not None:
+        obs = load_artifacts(args.from_artifacts)
+        report = diagnose(obs)
+        if baseline is None and args.baseline.exists():
+            baseline = bench_baseline()
+    elif args.from_campaign is not None:
+        report, measurements = _campaign_diagnosis(args.from_campaign,
+                                                   args.campaign_id)
+        if baseline is None and args.baseline.exists():
+            baseline = bench_baseline()
+    elif args.per_rank:
+        # The per-rank engine is a different workload from the benchmark
+        # scenarios, so no relative baseline applies to it.
+        obs, report = _per_rank_diagnosis(args)
+    else:
+        if baseline is None:
+            baseline = bench_baseline()
+        obs, report, measurements = _scenario_diagnosis(args, baseline)
+
+    merged = dict(report.measurements)
+    merged.update(measurements)
+    results = evaluate_slos(
+        slos, merged, baseline=baseline,
+        registry=obs.registry if obs is not None else None)
+    report = dataclasses.replace(report, measurements=merged,
+                                 slo_results=results)
+
+    if baseline is not None:
+        print(f"baseline: {baseline.describe()}")
+    print()
+    print(report.to_markdown())
+    written = write_diagnosis_artifacts(args.out, report, obs=obs)
+    for name, path in sorted(written.items()):
+        print(f"wrote {name}: {path}")
+
+    if report.breached_slos:
+        names = ", ".join(r.slo.name for r in report.breached_slos)
+        print(f"SLO BREACH: {names}", file=sys.stderr)
+        return 2
+    flagged = report.findings_at(fail_floor)
+    if flagged:
+        print(f"{len(flagged)} finding(s) at severity >= "
+              f"{fail_floor.name}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def main(argv: t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -700,6 +984,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "chaos": cmd_chaos,
         "report": cmd_report,
         "campaign": cmd_campaign,
+        "diagnose": cmd_diagnose,
     }
     try:
         return handlers[args.command](args)

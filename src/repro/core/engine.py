@@ -35,6 +35,7 @@ from repro.frameworks.base import (
     TrainContext,
     UPDATE_TIME_S,
 )
+from repro.obs.metrics import STEP_TIME_BUCKETS
 from repro.sim.invariants import InvariantChecker, ensure_invariants
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
@@ -111,6 +112,9 @@ class AIACCBackend(DDLBackend):
             buckets=(1e6, 4e6, 16e6, 64e6, 256e6))
         self._m_iterations = registry.counter(
             "aiacc_iterations_total", "Completed training iterations")
+        self._m_step_seconds = registry.histogram(
+            "aiacc_step_seconds", "Simulated end-to-end step time",
+            buckets=STEP_TIME_BUCKETS)
         # The per-GPU MPI daemon is single-threaded: synchronization
         # relays and unit launches serialize through it (paper Fig. 4).
         self._daemon = Resource(ctx.sim, 1, name="mpi-daemon")
@@ -228,6 +232,10 @@ class AIACCBackend(DDLBackend):
         timeline.span("apply", "apply", 0, apply_start, ctx.sim.now)
         timeline.end_step(0, step, ctx.sim.now)
         self._m_iterations.inc()
+        self._m_step_seconds.observe(ctx.sim.now - start)
+        if ctx.obs.diag is not None:
+            ctx.obs.diag.observe_step(0, step, ctx.sim.now - start,
+                                      ctx.sim.now)
         return IterationStats(
             iteration_time_s=ctx.sim.now - start,
             compute_time_s=ctx.compute_time_s,
@@ -348,6 +356,9 @@ class AIACCBackend(DDLBackend):
         ctx.obs.timeline.span("sync-round", "negotiate", 0,
                               negotiate_start, ctx.sim.now,
                               payload_bytes=payload)
+        if ctx.obs.diag is not None:
+            ctx.obs.diag.observe_negotiation(
+                0, ctx.sim.now - negotiate_start)
         ctx.trace.incr("aiacc.sync_rounds")
         ctx.trace.incr("aiacc.units", len(units))
         self._m_sync_rounds.inc()

@@ -86,11 +86,15 @@ def run_message_level_iteration(
     seed: int = 0,
     check_invariants: bool = False,
     obs: Observability | None = None,
+    compute_skew: t.Mapping[int, float] | None = None,
 ) -> MessageLevelResult:
     """Execute one full AIACC iteration with real per-worker processes.
 
     ``compute_time_s`` is the backward duration over which the gradient
     schedule is spread (0 = all gradients available immediately).
+    ``compute_skew`` optionally scales that duration per rank
+    (``{rank: factor}``, default 1.0) — the straggler scenario knob: one
+    slow rank stretches its own backward while the cohort keeps pace.
     Gradient values are deterministic per (worker, parameter) so the
     reduction can be verified.
 
@@ -108,6 +112,7 @@ def run_message_level_iteration(
     checker = sim.invariants
     network = FluidNetwork(sim)
     network.obs = obs if obs.enabled else None
+    network.diag = obs.diag
     cluster = Cluster(sim, num_nodes,
                       NodeSpec(gpus_per_node=gpus_per_node))
     world = cluster.world_size
@@ -180,6 +185,10 @@ def run_message_level_iteration(
                 timeline.span("allreduce-unit", "network", rank,
                               granted_at, sim.now, stream=stream_id,
                               bytes=float(unit.nbytes))
+                if obs.diag is not None:
+                    obs.diag.observe_stream_span(
+                        rank, stream_id, sim.now - granted_at,
+                        float(unit.nbytes))
                 pools[rank].release()
             out = t.cast(np.ndarray, out)
             cursor = 0
@@ -231,15 +240,18 @@ def run_message_level_iteration(
             done_event.succeed(None)
 
         # Backward pass: produce gradients on the schedule.
-        timeline.begin_step(rank, 0, sim.now)
+        step_start = sim.now
+        timeline.begin_step(rank, 0, step_start)
         dispatch_procs = []
         previous_sync = None
         batch: list[tuple[int, float]] = []
         batch_bytes = 0.0
         elapsed = 0.0
         ids = {p.name: i for i, p in enumerate(specs)}
+        skew = 1.0 if compute_skew is None \
+            else float(compute_skew.get(rank, 1.0))
         for event in model.backward_schedule():
-            target_t = event.time_fraction * compute_time_s
+            target_t = event.time_fraction * compute_time_s * skew
             if target_t > elapsed:
                 segment_start = sim.now
                 yield sim.timeout(target_t - elapsed)
@@ -269,7 +281,10 @@ def run_message_level_iteration(
             yield sim.all_of(dispatch_procs)
         if unit_procs:
             yield sim.all_of(unit_procs)
-        timeline.end_step(rank, 0, sim.now)
+        step_end = sim.now
+        timeline.end_step(rank, 0, step_end)
+        if obs.diag is not None:
+            obs.diag.observe_step(rank, 0, step_end - step_start, step_end)
         return reduced
 
     processes = [sim.spawn(worker(rank), name=f"worker{rank}")

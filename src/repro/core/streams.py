@@ -170,6 +170,7 @@ class CommStreamPool:
             raise
         finally:
             timeline = self.obs.timeline
+            diag = self.obs.diag
             if self.epoch:
                 span_meta = dict(span_meta, epoch=self.epoch)
             for stream_id in held:
@@ -177,4 +178,8 @@ class CommStreamPool:
                 timeline.span(label, "network", self.rank, granted_at,
                               self.sim.now, stream=stream_id,
                               interrupted=interrupted, **span_meta)
+                if diag is not None:
+                    diag.observe_stream_span(
+                        self.rank, stream_id, self.sim.now - granted_at,
+                        float(t.cast(float, span_meta.get("bytes", 0.0))))
             self.release(streams)

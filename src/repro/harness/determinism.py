@@ -86,6 +86,66 @@ def probe_key(ranks: int, streams: int, faults: bool, invariants: bool,
     return key
 
 
+@dataclasses.dataclass(frozen=True)
+class DiagnosisProbe:
+    """Outcome of one diagnosis-determinism cell."""
+
+    straggler_rank: int | None
+    straggler_factor: float
+    seed: int
+    #: Canonical findings digest (see ``repro.obs.diagnosis``).
+    findings_digest: str
+    findings: int
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used by the golden-findings file."""
+        return diagnosis_probe_key(self.straggler_rank,
+                                   self.straggler_factor, self.seed)
+
+
+def diagnosis_probe_key(straggler_rank: int | None,
+                        straggler_factor: float = 3.0,
+                        seed: int = 0) -> str:
+    """Canonical name of one diagnosis cell (golden-findings JSON key)."""
+    scenario = ("clean" if straggler_rank is None
+                else f"straggler-r{straggler_rank}-x{straggler_factor:g}")
+    return f"diag-{scenario}-seed{seed}"
+
+
+def diagnosis_probe(straggler_rank: int | None = None,
+                    straggler_factor: float = 3.0,
+                    seed: int = 0) -> DiagnosisProbe:
+    """Diagnose one message-level iteration; returns the findings digest.
+
+    The workload is a seed-keyed synthetic model on 2 nodes x 2 GPUs
+    with streaming detectors attached; ``straggler_rank`` injects a
+    compute-skewed straggler.  The digest must be bit-identical across
+    runs and commits — it is pinned in ``golden_findings.json`` next to
+    the event-sequence golden digests.
+    """
+    from repro.models.synthetic import random_model_spec
+    from repro.obs import Observability, diagnose
+    from repro.obs.report import build_step_report
+
+    spec = random_model_spec(seed, num_layers=8, total_parameters=400_000,
+                             total_forward_flops=1e9,
+                             compute_occupancy=0.5)
+    obs = Observability(enabled=True)
+    obs.attach_detectors()
+    skew = None if straggler_rank is None \
+        else {straggler_rank: straggler_factor}
+    report = build_step_report(
+        model=t.cast(str, spec), num_nodes=2, gpus_per_node=2,
+        config=AIACCConfig(num_streams=4), seed=seed, obs=obs,
+        compute_skew=skew)
+    diagnosis = diagnose(obs, attributions=report.attributions)
+    return DiagnosisProbe(
+        straggler_rank=straggler_rank, straggler_factor=straggler_factor,
+        seed=seed, findings_digest=diagnosis.findings_digest,
+        findings=len(diagnosis.findings))
+
+
 def _fault_layout(ranks: int) -> int:
     """GPUs per node for the fault probe (needs >= 2 whole nodes)."""
     if ranks < 2:

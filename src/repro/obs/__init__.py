@@ -16,9 +16,20 @@ instruments to *explain* its own throughput:
   Prometheus text, streaming JSONL (:mod:`repro.obs.exporters`).
 
 :class:`Observability` bundles one registry + one timeline and is what
-the engines, the network model and the tuner accept.
+the engines, the network model and the tuner accept.  Attach a
+:class:`~repro.obs.detectors.DetectorSuite` via
+:meth:`Observability.attach_detectors` to run the streaming anomaly
+detectors during simulation; :func:`~repro.obs.diagnosis.diagnose`
+turns the recorded run into typed findings, and
+:mod:`repro.obs.slo` / :mod:`repro.obs.baselines` give the regression
+sentinel its objectives and reference points.
 """
 
+from repro.obs.baselines import (
+    Baseline,
+    load_bench_baseline,
+    load_campaign_baseline,
+)
 from repro.obs.critical_path import (
     CATEGORY_MAP,
     COMPONENTS,
@@ -26,6 +37,21 @@ from repro.obs.critical_path import (
     attribute_all,
     attribute_step,
     attribute_window,
+)
+from repro.obs.detectors import (
+    DetectorConfig,
+    DetectorEvent,
+    DetectorSuite,
+    LinkUtilisationSampler,
+    Severity,
+    parse_severity,
+)
+from repro.obs.diagnosis import (
+    DiagnosisReport,
+    Finding,
+    diagnose,
+    load_artifacts,
+    write_diagnosis_artifacts,
 )
 from repro.obs.exporters import (
     chrome_trace_events,
@@ -40,6 +66,13 @@ from repro.obs.metrics import (
     Histogram,
     Metric,
     MetricsRegistry,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SLOResult,
+    evaluate_slos,
+    load_slos,
 )
 from repro.obs.timeline import (
     NETWORK_RANK,
@@ -59,6 +92,15 @@ class Observability:
             else MetricsRegistry(enabled=enabled)
         self.timeline = timeline if timeline is not None \
             else StepTimeline(enabled=enabled)
+        #: Optional attached :class:`DetectorSuite`; every hot-path hook
+        #: site checks ``diag is not None`` exactly once.
+        self.diag: DetectorSuite | None = None
+
+    def attach_detectors(self, suite: "DetectorSuite | None" = None
+                         ) -> DetectorSuite:
+        """Attach (and return) a streaming-detector suite to this run."""
+        self.diag = suite if suite is not None else DetectorSuite()
+        return self.diag
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -78,13 +120,24 @@ class Observability:
 __all__ = [
     "CATEGORY_MAP",
     "COMPONENTS",
+    "DEFAULT_SLOS",
+    "Baseline",
     "Counter",
+    "DetectorConfig",
+    "DetectorEvent",
+    "DetectorSuite",
+    "DiagnosisReport",
+    "Finding",
     "Gauge",
     "Histogram",
+    "LinkUtilisationSampler",
     "Metric",
     "MetricsRegistry",
     "NETWORK_RANK",
     "Observability",
+    "SLO",
+    "SLOResult",
+    "Severity",
     "StepAttribution",
     "StepTimeline",
     "TimelineInstant",
@@ -93,8 +146,16 @@ __all__ = [
     "attribute_step",
     "attribute_window",
     "chrome_trace_events",
+    "diagnose",
+    "evaluate_slos",
     "jsonl_lines",
     "jsonl_records",
+    "load_artifacts",
+    "load_bench_baseline",
+    "load_campaign_baseline",
+    "load_slos",
+    "parse_severity",
     "prometheus_text",
     "write_artifacts",
+    "write_diagnosis_artifacts",
 ]

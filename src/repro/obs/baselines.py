@@ -1,0 +1,127 @@
+"""Baseline loaders for the regression sentinel.
+
+Two baseline sources, one shape: a :class:`Baseline` is a flat mapping
+of numeric values (``simulated_step_s``, ``ranks``, ``streams``, ...)
+plus string metadata (``model``, ``algorithm``, provenance).  The
+sentinel folds these into relative SLO limits
+(:func:`repro.obs.slo.evaluate_slos`).
+
+* :func:`load_bench_baseline` — the committed benchmark trajectory
+  (``BENCH_simulator.json``: a list of labelled capture entries, each
+  holding named scenarios).
+* :func:`load_campaign_baseline` — a durable campaign store's report
+  (best completed cell for a spec filter).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing as t
+
+from repro.errors import ReproError
+
+#: Default benchmark scenario the ``diagnose`` CLI measures against.
+DEFAULT_BENCH_SCENARIO = "step-8r-4s"
+
+
+@dataclasses.dataclass(frozen=True)
+class Baseline:
+    """One baseline: numeric values + string provenance metadata."""
+
+    source: str
+    values: t.Mapping[str, float]
+    meta: t.Mapping[str, str] = dataclasses.field(default_factory=dict)
+
+    def describe(self) -> str:
+        bits = [self.source]
+        bits += [f"{key}={value}" for key, value in sorted(self.meta.items())]
+        return " ".join(bits)
+
+
+def load_bench_baseline(path: str | pathlib.Path,
+                        scenario: str = DEFAULT_BENCH_SCENARIO,
+                        label: str | None = None) -> Baseline:
+    """Load one scenario of one capture entry from the benchmark file.
+
+    Defaults to the *latest* entry (the list is append-only, newest
+    last); ``label`` selects an older capture by its label.
+    """
+    bench_path = pathlib.Path(path)
+    if not bench_path.exists():
+        raise ReproError(f"benchmark baseline file not found: {bench_path}")
+    try:
+        entries = json.loads(bench_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"corrupt benchmark file {bench_path}: {exc}") from exc
+    if not isinstance(entries, list) or not entries:
+        raise ReproError(f"benchmark file {bench_path} holds no entries")
+    if label is None:
+        entry = entries[-1]
+    else:
+        by_label = {e.get("label"): e for e in entries}
+        entry = by_label.get(label)
+        if entry is None:
+            raise ReproError(
+                f"no benchmark entry labelled {label!r} in {bench_path} "
+                f"(available: {sorted(k for k in by_label if k)})")
+    scenarios = entry.get("scenarios", {})
+    data = scenarios.get(scenario)
+    if data is None:
+        raise ReproError(
+            f"no scenario {scenario!r} in benchmark entry "
+            f"{entry.get('label')!r} (available: {sorted(scenarios)})")
+    values: dict[str, float] = {}
+    meta: dict[str, str] = {"label": str(entry.get("label")),
+                            "scenario": scenario}
+    for key, value in data.items():
+        if isinstance(value, bool):
+            meta[key] = str(value).lower()
+        elif isinstance(value, (int, float)):
+            values[key] = float(value)
+        else:
+            meta[key] = str(value)
+    return Baseline(source=f"bench:{bench_path.name}", values=values,
+                    meta=meta)
+
+
+def load_campaign_baseline(path: str | pathlib.Path,
+                           campaign_id: str | None = None) -> Baseline:
+    """Best completed cell of a campaign store, as a baseline.
+
+    Picks the done cell with the lowest ``mean_iteration_s``; its
+    result row supplies the numeric values (iteration time doubles as
+    the ``simulated_step_s`` baseline key so the stock SLOs apply).
+    """
+    from repro.campaign.report import load_report_from_path
+
+    report = load_report_from_path(path, campaign_id)
+    best_row = None
+    best_value = None
+    for row in report.rows:
+        if row.state != "done" or not isinstance(row.result, dict):
+            continue
+        value = row.result.get("mean_iteration_s")
+        if not isinstance(value, (int, float)):
+            continue
+        if best_value is None or value < best_value:
+            best_value = float(value)
+            best_row = row
+    if best_row is None:
+        raise ReproError(
+            f"campaign store {path} has no completed cell with a "
+            f"mean_iteration_s result to baseline against")
+    values: dict[str, float] = {}
+    meta: dict[str, str] = {"spec_id": str(best_row.spec_id)}
+    for key, value in best_row.result.items():
+        if isinstance(value, bool):
+            meta[key] = str(value).lower()
+        elif isinstance(value, (int, float)):
+            values[key] = float(value)
+        elif isinstance(value, str):
+            meta[key] = value
+    values["simulated_step_s"] = t.cast(float, best_value)
+    return Baseline(source=f"campaign:{pathlib.Path(path).name}",
+                    values=values, meta=meta)

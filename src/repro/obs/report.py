@@ -51,27 +51,34 @@ class ObsReport:
 
 
 def link_utilisation_rows(timeline: StepTimeline) -> list[dict]:
-    """Summarize per-flow network spans, grouped by bottleneck link.
+    """Summarize per-flow network spans, grouped by (link, algorithm).
 
     ``utilisation`` is the duration-weighted mean of each flow's
     achieved rate over its bottleneck link capacity — the per-stream
     share of the physical link, which the TCP transport caps at the
-    paper's single-stream efficiency (≤30%).
+    paper's single-stream efficiency (≤30%).  Flows placed by a named
+    collective algorithm (the planner backends stamp
+    ``FluidNetwork.flow_label``) get their own row per link, so a
+    planner run attributes each link's busy-time per algorithm;
+    unlabelled flows group under ``"-"``.
     """
-    grouped: dict[str, list] = {}
+    grouped: dict[tuple[str, str], list] = {}
     for span in timeline.spans:
         if span.rank != NETWORK_RANK or span.cat != "net":
             continue
-        grouped.setdefault(str(span.meta.get("lane", "?")), []).append(span)
+        key = (str(span.meta.get("lane", "?")),
+               str(span.meta.get("algorithm", "-")))
+        grouped.setdefault(key, []).append(span)
     rows = []
-    for lane in sorted(grouped):
-        spans = grouped[lane]
+    for lane, algorithm in sorted(grouped):
+        spans = grouped[(lane, algorithm)]
         total_duration = sum(s.duration for s in spans)
         weighted = sum(
             float(t.cast(float, s.meta["utilisation"])) * s.duration
             for s in spans)
         rows.append({
             "link": lane,
+            "algorithm": algorithm,
             "flows": len(spans),
             "mbytes": sum(float(t.cast(float, s.meta["bytes"]))
                           for s in spans) / 1e6,
@@ -109,8 +116,17 @@ def build_step_report(model: str = "resnet50", num_nodes: int = 2,
                       gpus_per_node: int = 2,
                       config: "AIACCConfig | None" = None,
                       batch_per_gpu: int | None = None,
-                      seed: int = 0) -> ObsReport:
-    """Run one instrumented message-level iteration and distil it."""
+                      seed: int = 0,
+                      obs: Observability | None = None,
+                      compute_skew: t.Mapping[int, float] | None = None
+                      ) -> ObsReport:
+    """Run one instrumented message-level iteration and distil it.
+
+    Pass a prepared ``obs`` (e.g. with a detector suite attached via
+    :meth:`Observability.attach_detectors`) to diagnose the run;
+    ``compute_skew`` scales one or more ranks' backward duration (the
+    straggler scenario — see ``run_message_level_iteration``).
+    """
     from repro.core.message_engine import run_message_level_iteration
     from repro.core.runtime import AIACCConfig
     from repro.models.base import ModelSpec
@@ -126,10 +142,11 @@ def build_step_report(model: str = "resnet50", num_nodes: int = 2,
     compute_time_s = GPUDevice(V100).compute_time_s(
         spec.backward_flops * batch)
 
-    obs = Observability(enabled=True)
+    obs = obs if obs is not None else Observability(enabled=True)
     result = run_message_level_iteration(
         spec, num_nodes=num_nodes, gpus_per_node=gpus_per_node,
-        config=config, compute_time_s=compute_time_s, seed=seed, obs=obs)
+        config=config, compute_time_s=compute_time_s, seed=seed, obs=obs,
+        compute_skew=compute_skew)
 
     return ObsReport(
         model=spec.name,

@@ -54,6 +54,10 @@ _EPS = 1e-9
 #: accounting without ever completing a fresh flow early.
 _COMPLETE_BITS = 0.5
 
+#: A capped flow counts as fabric-throttled only below this fraction of
+#: its per-stream rate cap (see ``FluidNetwork._record_flow``).
+THROTTLE_DEPTH = 0.5
+
 
 class Link:
     """A unidirectional network resource with finite capacity.
@@ -241,6 +245,11 @@ class FluidNetwork:
         #: with its achieved rate and bottleneck utilisation (Fig. 3's
         #: per-stream link-utilisation measurement), plus flow metrics.
         self.obs = None
+        #: Optional :class:`repro.obs.detectors.DetectorSuite`; when
+        #: attached, the fluid model feeds it exact per-link utilisation
+        #: intervals (rates are piecewise-constant between advances) and
+        #: per-flow throttling verdicts.  Purely observational.
+        self.diag = None
         #: Provenance tag stamped on every flow created while set (the
         #: timed collectives set it to the running algorithm's name so
         #: flow telemetry can be sliced per algorithm).  Purely
@@ -368,6 +377,11 @@ class FluidNetwork:
         now = self.sim.now
         if now == self._progress_time:
             return
+        if self.diag is not None and self._progress_time >= 0.0 and self.flows:
+            # Rates were constant over the elapsed interval, so this
+            # samples link utilisation exactly (no polling error).
+            self.diag.link_sampler.observe_interval(
+                now - self._progress_time, self.flows)
         self._progress_time = now
         for flow in self.flows:
             elapsed = now - flow._last_update
@@ -553,13 +567,27 @@ class FluidNetwork:
         rate = flow.size_bits / duration if duration > 0 \
             else bottleneck.capacity_bps
         utilisation = min(1.0, rate / bottleneck.capacity_bps)
+        # A flow is *throttled* when its per-stream achieved rate landed
+        # below half its per-stream cap: the fabric, not the endpoint,
+        # was the limiter.  The depth threshold separates pathology from
+        # healthy multi-stream NIC saturation — N concurrent streams
+        # fair-sharing their own NIC sit shallowly below cap by design
+        # (that is the multi-stream point), while an oversubscribed
+        # shared spine cuts each stream to a fraction of it.
+        throttled = (flow.rate_cap_bps is not None and duration > 0
+                     and rate / flow.weight
+                     < flow.rate_cap_bps * THROTTLE_DEPTH)
+        if self.diag is not None:
+            self.diag.observe_flow(
+                [link.name for link in flow.links], flow.label,
+                flow.size_bits / 8.0, duration, throttled)
         obs = self.obs
         from repro.obs.timeline import NETWORK_RANK
 
         span_meta: dict[str, object] = dict(
             lane=bottleneck.name, bytes=flow.size_bits / 8.0,
             rate_bps=rate, utilisation=utilisation,
-            capped=flow.rate_cap_bps is not None)
+            capped=flow.rate_cap_bps is not None, throttled=throttled)
         metric_labels: dict[str, str] = {"link": bottleneck.name}
         if flow.label is not None:
             span_meta["algorithm"] = flow.label

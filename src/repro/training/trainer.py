@@ -124,6 +124,7 @@ def build_train_context(
     # The fluid network only pays per-flow telemetry when something will
     # read it; the fault hooks gain timeline instants the same way.
     network.obs = obs if obs.enabled else None
+    network.diag = obs.diag
     run_trace.attach_timeline(obs.timeline)
     return TrainContext(
         sim=sim,

@@ -1,0 +1,110 @@
+"""Exporter round-trips against *real* instrumented runs.
+
+The unit tests in ``test_timeline_and_exporters.py`` exercise each
+exporter on hand-built timelines; these tests drive the actual
+simulator and assert the two contracts downstream tooling relies on:
+
+* ``chrome_trace_events`` emits schema-valid Trace Event JSON — every
+  event carries the required keys for its phase and timestamps are
+  monotonic within each ``(pid, tid)`` track, so Perfetto renders it
+  without warnings;
+* ``jsonl_records`` is byte-stable — two identical runs produce
+  byte-identical ``timeline.jsonl`` artifacts, the property the
+  diagnosis digest matrix builds on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability, chrome_trace_events, write_artifacts
+from repro.training.trainer import run_training
+
+#: Keys Perfetto/chrome://tracing require per event phase.
+REQUIRED_KEYS = {
+    "X": {"name", "cat", "ph", "ts", "dur", "pid", "tid"},
+    "i": {"name", "cat", "ph", "ts", "pid", "tid", "s"},
+    "s": {"name", "cat", "ph", "ts", "pid", "tid", "id"},
+    "t": {"name", "cat", "ph", "ts", "pid", "tid", "id"},
+    "f": {"name", "cat", "ph", "ts", "pid", "tid", "id", "bp"},
+    "M": {"name", "ph", "pid", "args"},
+}
+
+
+def instrumented_run():
+    obs = Observability(enabled=True)
+    obs.attach_detectors()
+    run_training("resnet50", "aiacc", 8, measure_iterations=2,
+                 warmup_iterations=1, obs=obs)
+    return obs
+
+
+@pytest.fixture(scope="module")
+def trace_events():
+    return chrome_trace_events(instrumented_run().timeline)
+
+
+class TestChromeTraceSchema:
+    def test_every_event_has_its_phase_required_keys(self, trace_events):
+        assert trace_events
+        for event in trace_events:
+            required = REQUIRED_KEYS.get(event["ph"])
+            assert required is not None, \
+                f"unexpected phase {event['ph']!r}"
+            missing = required - set(event)
+            assert not missing, \
+                f"{event['ph']!r} event {event.get('name')!r} " \
+                f"missing {sorted(missing)}"
+
+    def test_timestamps_are_monotonic_per_track(self, trace_events):
+        last = {}
+        for event in trace_events:
+            if event["ph"] == "M":
+                continue
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(track, float("-inf")), \
+                f"ts went backwards on track {track}"
+            last[track] = event["ts"]
+        assert last  # at least one real track was exercised
+
+    def test_durations_non_negative_and_finite(self, trace_events):
+        for event in trace_events:
+            if event["ph"] != "X":
+                continue
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_every_track_is_named(self, trace_events):
+        named_processes = {e["pid"] for e in trace_events
+                           if e.get("name") == "process_name"}
+        named_threads = {(e["pid"], e["tid"]) for e in trace_events
+                         if e.get("name") == "thread_name"}
+        for event in trace_events:
+            if event["ph"] == "M":
+                continue
+            assert event["pid"] in named_processes
+            assert (event["pid"], event["tid"]) in named_threads
+
+    def test_json_round_trip_is_lossless(self, trace_events):
+        assert json.loads(json.dumps(trace_events)) == trace_events
+
+
+class TestJsonlByteStability:
+    def test_identical_runs_yield_identical_artifact_bytes(self, tmp_path):
+        payloads = []
+        for run in range(2):
+            obs = instrumented_run()
+            written = write_artifacts(tmp_path / f"run{run}",
+                                      obs.registry, obs.timeline)
+            payloads.append(written["jsonl"].read_bytes())
+        assert payloads[0] == payloads[1]
+        assert payloads[0]  # non-trivial: the run produced records
+
+    def test_trace_json_is_also_byte_stable(self, tmp_path):
+        payloads = []
+        for run in range(2):
+            obs = instrumented_run()
+            written = write_artifacts(tmp_path / f"t{run}",
+                                      obs.registry, obs.timeline)
+            payloads.append(written["trace"].read_bytes())
+        assert payloads[0] == payloads[1]

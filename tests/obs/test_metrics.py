@@ -54,6 +54,31 @@ class TestHistogram:
         with pytest.raises(ReproError):
             MetricsRegistry().histogram("h", buckets=())
 
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            histogram.observe(value)
+        # p50: target rank 2 lands in the (1, 10] bucket, halfway in.
+        assert histogram.quantile(0.5) == pytest.approx(5.5)
+        assert histogram.quantile(0.99) == pytest.approx(96.4)
+        # p0 clamps to the first populated bucket's lower edge.
+        assert histogram.quantile(0.0) == pytest.approx(0.0)
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1000.0)
+        assert histogram.quantile(0.99) == 10.0
+
+    def test_quantile_empty_and_range_errors(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert histogram.quantile(0.5) is None
+        histogram.observe(0.5)
+        with pytest.raises(ReproError):
+            histogram.quantile(1.5)
+        with pytest.raises(ReproError):
+            histogram.quantile(-0.1)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_handle(self):
@@ -85,6 +110,45 @@ class TestRegistry:
         registry.set_enabled(True)
         counter.inc()
         assert counter.value() == 1.0
+
+
+class TestCardinalityGuard:
+    def test_cap_drops_new_label_sets_and_warns_once(self, caplog):
+        registry = MetricsRegistry(max_label_sets=3)
+        counter = registry.counter("c", "capped family")
+        with caplog.at_level("WARNING", logger="repro.obs"):
+            for rank in range(10):
+                counter.inc(rank=rank)
+        assert len(counter.samples) == 3
+        assert counter.dropped_label_sets == 7
+        assert registry.dropped_label_sets == 7
+        warnings = [r for r in caplog.records
+                    if "label sets" in r.getMessage()]
+        assert len(warnings) == 1  # warn-once, not once per drop
+
+    def test_existing_label_sets_keep_recording_past_the_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("c")
+        counter.inc(rank=0)
+        counter.inc(rank=1)
+        counter.inc(rank=2)  # dropped
+        counter.inc(rank=0)  # pre-existing key still records
+        assert counter.value(rank=0) == 2.0
+        assert counter.value(rank=2) == 0.0
+        assert counter.dropped_label_sets == 1
+
+    def test_guard_covers_gauge_and_histogram(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        gauge = registry.gauge("g")
+        gauge.set(1.0, rank=0)
+        gauge.set(2.0, rank=1)
+        gauge.add(5.0, rank=1)
+        assert gauge.value(rank=1) == 0.0
+        histogram = registry.histogram("h")
+        histogram.observe(1.0, rank=0)
+        histogram.observe(1.0, rank=1)
+        assert histogram.state(rank=1) is None
+        assert registry.dropped_label_sets == 3
 
 
 class TestDisabledOverhead:

@@ -1,0 +1,223 @@
+"""The regression sentinel: SLO evaluation + baseline loaders."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    DEFAULT_SLOS,
+    MetricsRegistry,
+    SLO,
+    evaluate_slos,
+    load_bench_baseline,
+    load_campaign_baseline,
+    load_slos,
+)
+from repro.obs.baselines import Baseline
+
+
+def bench_file(tmp_path, entries):
+    path = tmp_path / "BENCH_simulator.json"
+    path.write_text(json.dumps(entries))
+    return path
+
+
+class TestSLODeclaration:
+    def test_needs_some_bound(self):
+        with pytest.raises(ReproError):
+            SLO(name="x", metric="m")
+
+    def test_baseline_bound_alone_is_enough(self):
+        SLO(name="x", metric="m", baseline_key="k", baseline_ratio=1.1)
+
+
+class TestEvaluateSLOs:
+    def test_absolute_max_ok_and_breach(self):
+        slo = SLO(name="x", metric="m", max_value=1.0)
+        (ok,) = evaluate_slos([slo], {"m": 0.5})
+        assert not ok.breached and not ok.skipped and ok.verdict == "ok"
+        (breach,) = evaluate_slos([slo], {"m": 1.5})
+        assert breach.breached and breach.verdict == "BREACH"
+
+    def test_min_bound(self):
+        slo = SLO(name="eff", metric="m", min_value=0.5)
+        (breach,) = evaluate_slos([slo], {"m": 0.4})
+        assert breach.breached
+
+    def test_relative_limit_folds_baseline(self):
+        slo = SLO(name="x", metric="m", baseline_key="base",
+                  baseline_ratio=1.10)
+        baseline = Baseline(source="test", values={"base": 1.0})
+        (ok,) = evaluate_slos([slo], {"m": 1.05}, baseline=baseline)
+        assert not ok.breached and ok.limit == pytest.approx(1.10)
+        (breach,) = evaluate_slos([slo], {"m": 1.2}, baseline=baseline)
+        assert breach.breached
+
+    def test_tightest_of_absolute_and_relative_wins(self):
+        slo = SLO(name="x", metric="m", max_value=1.05,
+                  baseline_key="base", baseline_ratio=1.10)
+        baseline = Baseline(source="test", values={"base": 1.0})
+        (result,) = evaluate_slos([slo], {"m": 1.07}, baseline=baseline)
+        assert result.limit == pytest.approx(1.05)
+        assert result.breached
+
+    def test_unmeasured_metric_skips_with_reason(self):
+        slo = SLO(name="x", metric="m", max_value=1.0)
+        (result,) = evaluate_slos([slo], {})
+        assert result.skipped and not result.breached
+        assert "no measurement" in result.reason
+
+    def test_missing_baseline_skips_not_passes(self):
+        slo = SLO(name="x", metric="m", baseline_key="base",
+                  baseline_ratio=1.10)
+        (result,) = evaluate_slos([slo], {"m": 99.0})
+        assert result.skipped and not result.breached
+        assert "baseline" in result.reason
+
+    def test_histogram_fallback_reads_registry_quantile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("step_seconds",
+                                       buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        slo = SLO(name="p99", metric="missing_key", max_value=1.0,
+                  histogram="step_seconds", quantile=0.99)
+        (result,) = evaluate_slos([slo], {}, registry=registry)
+        assert not result.skipped
+        assert result.observed == pytest.approx(
+            histogram.quantile(0.99))
+        assert result.breached  # p99 lands in the (1, 10] bucket
+
+    def test_default_slos_cover_the_issue_objectives(self):
+        metrics = {slo.metric for slo in DEFAULT_SLOS}
+        assert metrics == {"step_time_p99_s", "scaling_efficiency",
+                           "recovery_time_s", "obs_overhead_frac"}
+
+
+class TestLoadSLOs:
+    def test_round_trips_a_valid_file(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps({"slos": [
+            {"name": "x", "metric": "m", "max_value": 1.0},
+            {"name": "y", "metric": "n", "baseline_key": "k",
+             "baseline_ratio": 1.2},
+        ]}))
+        slos = load_slos(path)
+        assert [slo.name for slo in slos] == ["x", "y"]
+
+    def test_bare_list_accepted(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps(
+            [{"name": "x", "metric": "m", "max_value": 1.0}]))
+        assert len(load_slos(path)) == 1
+
+    def test_missing_file_typed_error(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_slos(tmp_path / "nope.json")
+
+    def test_corrupt_json_typed_error(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_slos(path)
+
+    def test_unknown_keys_typed_error(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps([{"name": "x", "metric": "m",
+                                     "max_value": 1.0, "typo": 1}]))
+        with pytest.raises(ReproError, match="unknown keys"):
+            load_slos(path)
+
+    def test_unbounded_slo_typed_error(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps([{"name": "x", "metric": "m"}]))
+        with pytest.raises(ReproError):
+            load_slos(path)
+
+
+class TestBenchBaseline:
+    ENTRIES = [
+        {"label": "old", "scenarios": {
+            "step-8r-4s": {"ranks": 8, "simulated_step_s": 0.30,
+                           "model": "resnet50", "congested": False}}},
+        {"label": "new", "scenarios": {
+            "step-8r-4s": {"ranks": 8, "simulated_step_s": 0.225,
+                           "model": "resnet50", "congested": False}}},
+    ]
+
+    def test_latest_entry_by_default(self, tmp_path):
+        baseline = load_bench_baseline(bench_file(tmp_path, self.ENTRIES))
+        assert baseline.meta["label"] == "new"
+        assert baseline.values["simulated_step_s"] == pytest.approx(0.225)
+        # Numerics land in values, strings/bools in meta.
+        assert baseline.values["ranks"] == 8.0
+        assert baseline.meta["congested"] == "false"
+
+    def test_label_selects_an_older_capture(self, tmp_path):
+        baseline = load_bench_baseline(bench_file(tmp_path, self.ENTRIES),
+                                       label="old")
+        assert baseline.values["simulated_step_s"] == pytest.approx(0.30)
+
+    def test_unknown_label_lists_available(self, tmp_path):
+        with pytest.raises(ReproError, match="old"):
+            load_bench_baseline(bench_file(tmp_path, self.ENTRIES),
+                                label="nope")
+
+    def test_unknown_scenario_lists_available(self, tmp_path):
+        with pytest.raises(ReproError, match="step-8r-4s"):
+            load_bench_baseline(bench_file(tmp_path, self.ENTRIES),
+                                scenario="nope")
+
+    def test_missing_and_corrupt_files_typed(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_bench_baseline(tmp_path / "nope.json")
+        path = tmp_path / "bad.json"
+        path.write_text("[")
+        with pytest.raises(ReproError):
+            load_bench_baseline(path)
+
+    def test_committed_bench_file_loads(self):
+        # The repo's own pinned trajectory must stay loadable: this is
+        # what `python -m repro diagnose` measures against in CI.
+        baseline = load_bench_baseline("BENCH_simulator.json")
+        assert baseline.values["simulated_step_s"] > 0
+        assert baseline.meta["scenario"] == "step-8r-4s"
+
+
+class TestCampaignBaseline:
+    def make_store(self, tmp_path, results):
+        from repro.campaign.grid import CampaignGrid, expand_grids
+        from repro.campaign.store import CampaignStore
+
+        path = tmp_path / "campaigns.db"
+        with CampaignStore(path) as store:
+            campaign_id = store.create_campaign("test")
+            specs = expand_grids([CampaignGrid(
+                runner="measure",
+                axes={"cell": tuple(range(len(results)))})])
+            store.add_runs(campaign_id, specs)
+            for result in results:
+                row = store.claim_next(campaign_id, "w", 10.0)
+                store.mark_running(campaign_id, row.spec_id,
+                                   row.claim_token)
+                store.record_done(campaign_id, row.spec_id,
+                                  row.claim_token, result, 0.1)
+        return path
+
+    def test_best_done_cell_becomes_the_baseline(self, tmp_path):
+        path = self.make_store(tmp_path, [
+            {"mean_iteration_s": 0.5, "scaling_efficiency": 0.8,
+             "model": "resnet50"},
+            {"mean_iteration_s": 0.3, "scaling_efficiency": 0.9,
+             "model": "resnet50"},
+        ])
+        baseline = load_campaign_baseline(path)
+        assert baseline.values["simulated_step_s"] == pytest.approx(0.3)
+        assert baseline.values["scaling_efficiency"] == pytest.approx(0.9)
+        assert baseline.meta["model"] == "resnet50"
+
+    def test_no_completed_cell_typed_error(self, tmp_path):
+        path = self.make_store(tmp_path, [{"note": "no-iteration-time"}])
+        with pytest.raises(ReproError, match="mean_iteration_s"):
+            load_campaign_baseline(path)

@@ -25,10 +25,28 @@ import pathlib
 
 import pytest
 
-from repro.harness.determinism import probe_key, run_probe
+from repro.harness.determinism import (
+    diagnosis_probe,
+    diagnosis_probe_key,
+    probe_key,
+    run_probe,
+)
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_digests.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+GOLDEN_FINDINGS_PATH = pathlib.Path(__file__).parent / \
+    "golden_findings.json"
+GOLDEN_FINDINGS = json.loads(GOLDEN_FINDINGS_PATH.read_text())
+
+DIAGNOSIS_MATRIX = [
+    {"straggler_rank": None, "straggler_factor": 3.0, "seed": 0},
+    {"straggler_rank": 2, "straggler_factor": 3.0, "seed": 0},
+]
+
+
+def diagnosis_cell_id(cell):
+    return diagnosis_probe_key(**cell)
 
 MATRIX = [
     {"ranks": ranks, "streams": streams, "faults": faults}
@@ -96,3 +114,41 @@ class TestSeedSensitivity:
         # which is what the golden file pins.
         probe = run_probe(8, 4, faults=False, invariants=True, seed=0)
         assert probe.digest == GOLDEN["r8-s4-nofaults-inv-seed0"]["digest"]
+
+
+class TestDiagnosisDigests:
+    """The diagnosis layer gets the same cross-commit pin as the sim.
+
+    A detector-threshold tweak, finding-field rename or sort-order
+    change must fail here; regenerate the golden file only after an
+    intentional change (``tools/capture_golden_findings.py``).
+    """
+
+    @pytest.mark.parametrize("cell", DIAGNOSIS_MATRIX,
+                             ids=diagnosis_cell_id)
+    def test_findings_digest_matches_golden(self, cell):
+        golden = GOLDEN_FINDINGS[diagnosis_cell_id(cell)]
+        probe = diagnosis_probe(**cell)
+        assert probe.findings == golden["findings"]
+        assert probe.findings_digest == golden["findings_digest"], (
+            f"{diagnosis_cell_id(cell)}: findings diverged from the "
+            f"pinned golden digest — if this change is intentional, "
+            f"regenerate with tools/capture_golden_findings.py"
+        )
+
+    @pytest.mark.parametrize("cell", DIAGNOSIS_MATRIX,
+                             ids=diagnosis_cell_id)
+    def test_same_cell_twice_same_digest(self, cell):
+        first = diagnosis_probe(**cell)
+        second = diagnosis_probe(**cell)
+        assert first.findings_digest == second.findings_digest
+
+    def test_clean_cell_is_empty(self):
+        # The clean cell's golden digest IS the empty-findings digest:
+        # a healthy run must stay finding-free.
+        probe = diagnosis_probe()
+        assert probe.findings == 0
+
+    def test_golden_file_covers_diagnosis_matrix(self):
+        assert sorted(GOLDEN_FINDINGS) == sorted(
+            diagnosis_cell_id(cell) for cell in DIAGNOSIS_MATRIX)

@@ -1,0 +1,53 @@
+"""Regenerate ``tests/sim/golden_findings.json``.
+
+Runs every diagnosis-determinism cell through
+:func:`repro.harness.determinism.diagnosis_probe` and records each
+cell's canonical findings digest.  The golden file pins the diagnosis
+layer's output the same way ``golden_digests.json`` pins the simulator's
+event schedule: a detector-threshold tweak, a finding-field rename, or a
+sort-order change all fail ``tests/sim/test_determinism_matrix.py``.
+
+Only regenerate after an *intentional*, reviewed behaviour change:
+
+    PYTHONPATH=src python tools/capture_golden_findings.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.harness.determinism import diagnosis_probe
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "tests" / "sim" / "golden_findings.json"
+
+#: The diagnosis cells that get pinned findings digests: a clean run
+#: (must stay at the empty-findings digest) and an injected straggler.
+GOLDEN_CELLS: tuple[dict, ...] = (
+    {"straggler_rank": None, "straggler_factor": 3.0, "seed": 0},
+    {"straggler_rank": 2, "straggler_factor": 3.0, "seed": 0},
+)
+
+
+def capture() -> dict:
+    digests = {}
+    for cell in GOLDEN_CELLS:
+        probe = diagnosis_probe(**cell)
+        digests[probe.key] = {
+            "findings_digest": probe.findings_digest,
+            "findings": probe.findings,
+        }
+        print(f"{probe.key}: {probe.findings_digest} "
+              f"({probe.findings} finding(s))", file=sys.stderr)
+    return digests
+
+
+def main() -> None:
+    GOLDEN_PATH.write_text(json.dumps(capture(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
