@@ -56,6 +56,13 @@ SCENARIOS = (
     StepScenario("step-32r-4s", ranks=32, streams=4, budget_s=0.5),
     StepScenario("step-128r-4s", ranks=128, streams=4, budget_s=1.0),
     StepScenario("step-256r-4s", ranks=256, streams=4, budget_s=2.0),
+    # The 1024/4096-rank tier rides the vectorized hot state: flow
+    # bundling (RING_BUNDLE_MIN_NODES) collapses each ring unit's
+    # 2·nodes-flow fan-out into two solver entities, so the acceptance
+    # gate of the vectorization work (>= 5x over the pre-vectorization
+    # 1024-rank wall time) holds with headroom.
+    StepScenario("step-1024r-4s", ranks=1024, streams=4, budget_s=2.0),
+    StepScenario("step-4096r-4s", ranks=4096, streams=4, budget_s=4.0),
     StepScenario("stress-256r-hier", ranks=256, streams=24,
                  model="vgg16", algorithm="hierarchical", congested=True,
                  budget_s=8.0),

@@ -54,6 +54,20 @@ AGGREGATE_MIN_FLOWS = 16
 #: the pre-aggregation kernel.
 WEIGHTED_RING_MIN_NODES = 16
 
+#: Node count from which a symmetric same-instant fan-out (one identical
+#: flow per node pair on pairwise-disjoint links) enters the fluid
+#: network as a single bundled :class:`~repro.sim.network.GroupFlow`
+#: solver entity per uniform run, via :meth:`~repro.sim.network.
+#: FluidNetwork.start_flow_group`.  Bundling is *exact* — a bundled
+#: member's links carry nothing but aligned bundle members, so the
+#: representative's rate trajectory is every member's — but it thins the
+#: event schedule (one completion event and one wakeup stream per run
+#: instead of per flow), so like ``AGGREGATE_MIN_FLOWS`` it is gated far
+#: above every pinned golden-digest config (<= 32 ranks / 4 nodes).
+#: This is the lever that takes 1024–4096-rank steps from thousands of
+#: flow objects per step to a couple dozen solver entities.
+RING_BUNDLE_MIN_NODES = 64
+
 #: Device-wide synchronization between the hierarchical algorithm's three
 #: phases.  Every GPU of a node must finish phase k before phase k+1 may
 #: launch; under backward-pass SM occupancy this event sync costs about a
@@ -62,6 +76,35 @@ WEIGHTED_RING_MIN_NODES = 16
 #: algorithm still wins on congested links, where its bandwidth shape
 #: matters more.
 HIERARCHICAL_PHASE_SYNC_S = 2e-3
+
+
+class _WirePlan:
+    """Cached launch skeleton for the node-level ring's wire fan-out.
+
+    The flat ring and the half-ring primitives place the identical flow
+    pattern every launch — one NIC hop per node plus the NVLink fabrics
+    — and the pattern depends only on the (immutable) topology and the
+    static per-node stream caps.  Building it per call costs O(nodes)
+    Python work per collective unit, which at 1024–4096 ranks dominates
+    the simulated step; this plan is built once per collectives
+    instance instead.  ``mode`` records the launch path decided by the
+    same thresholds the per-call path applied: ``"flow"`` (per-flow
+    insertion — every golden-digest config), ``"batch"`` (one batched
+    allocator pass), or ``"bundle"`` (one solver entity per uniform run
+    via cached :class:`~repro.sim.network.FlowBundle` handles).  Caps
+    are stored unscaled; launches multiply by their ``cap_scale``.
+    """
+
+    __slots__ = ("mode", "specs", "entries", "slowest_base")
+
+    def __init__(self, mode: str,
+                 specs: list[tuple[list[Link], float | None, int]],
+                 entries: list[tuple[object, float | None, int]] | None,
+                 slowest_base: float | None) -> None:
+        self.mode = mode
+        self.specs = specs
+        self.entries = entries
+        self.slowest_base = slowest_base
 
 
 class TimedCollectives:
@@ -108,6 +151,8 @@ class TimedCollectives:
         #: the ina multicast trunk), so representative sampling would
         #: mis-count shared links.
         self._planner: CollectivePlanner | None = None
+        #: Lazily built wire-flow launch skeleton (see :class:`_WirePlan`).
+        self._wire_cache: _WirePlan | None = None
 
     # -- public API -------------------------------------------------------
 
@@ -289,20 +334,12 @@ class TimedCollectives:
         m = self.cluster.num_nodes
         spec = self.cluster.spec
         hop_bytes = ring_volume_bytes(size_bytes, n) / 2.0
-        specs: list[tuple[list[Link], float, float | None, int]] = []
         if m > 1:
-            for src_node, hop in self._nic_hops():
-                cap = self.cluster.stream_cap_bps(src_node)
-                specs.append((hop, hop_bytes, cap, 1))
-            if spec.gpus_per_node > 1:
-                for fabric in self._nvlink_fabrics():
-                    specs.append(([fabric], hop_bytes, None, 1))
             alpha = (n - 1) * spec.inter_node_latency_s
         else:
             alpha = (n - 1) * spec.intra_node_latency_s
-            for fabric in self._nvlink_fabrics():
-                specs.append(([fabric], hop_bytes, None, 1))
-        done = self.sim.all_of(self._launch(specs, label=name))
+        done = self.sim.all_of(
+            self._launch_wire(self._wire_plan(), hop_bytes, 1.0, name))
         return self._after(done, alpha)
 
     # -- algorithm schedules -------------------------------------------------
@@ -343,10 +380,134 @@ class TimedCollectives:
             network.flow_label = label
         try:
             if len(specs) >= AGGREGATE_MIN_FLOWS:
+                runs = self._uniform_runs(specs)
+                if runs is not None:
+                    return [network.start_flow_group(members, size_bytes,
+                                                     rate_cap_bps=cap,
+                                                     weight=weight)
+                            for members, size_bytes, cap, weight in runs]
                 return network.start_flows(specs)
             return [network.start_flow(links, size_bytes,
                                        rate_cap_bps=cap, weight=weight)
                     for links, size_bytes, cap, weight in specs]
+        finally:
+            network.flow_label = previous
+
+    @staticmethod
+    def _uniform_runs(specs: t.Sequence[tuple[t.Sequence[Link], float,
+                                              float | None, int]]
+                      ) -> list[tuple[list[t.Sequence[Link]], float,
+                                      float | None, int]] | None:
+        """Partition a launch into bundleable uniform runs, or ``None``.
+
+        A *run* is a maximal stretch of consecutive specs sharing
+        (bytes, cap, weight) — e.g. a ring launch is one run of NIC hops
+        followed by one run of NVLink fabrics.  Bundling applies only
+        when **every** run reaches ``RING_BUNDLE_MIN_NODES`` members:
+        mixing bundles with loose flows in one launch would land the
+        loose flows on freshly claimed links and split the bundles right
+        back apart.  Link-level exactness (disjointness, identical
+        capacity profiles, unoccupied links) is re-checked per run by
+        :meth:`~repro.sim.network.FluidNetwork.start_flow_group`, which
+        falls back to per-member flows when it does not hold.
+        """
+        runs: list[tuple[list[t.Sequence[Link]], float,
+                         float | None, int]] = []
+        for links, size_bytes, cap, weight in specs:
+            if runs and runs[-1][1:] == (size_bytes, cap, weight):
+                runs[-1][0].append(links)
+            else:
+                runs.append(([links], size_bytes, cap, weight))
+        if all(len(members) >= RING_BUNDLE_MIN_NODES
+               for members, _size, _cap, _weight in runs):
+            return runs
+        return None
+
+    def _wire_plan(self) -> _WirePlan:
+        """Build (once) the launch skeleton for ring/half-ring wire flows.
+
+        Safe to cache for the instance lifetime: hop structure and
+        NVLink fabrics are fixed by the topology, and per-node stream
+        caps come from the static cluster spec and build-time congestion
+        map — runtime capacity degradation (``set_link_capacity``) does
+        not alter them, it only breaks bundle exactness, which the
+        cached :class:`~repro.sim.network.FlowBundle` handles re-check
+        through their claim channels on every launch.
+        """
+        plan = self._wire_cache
+        if plan is not None:
+            return plan
+        cluster = self.cluster
+        m = cluster.num_nodes
+        spec = cluster.spec
+        specs: list[tuple[list[Link], float | None, int]] = []
+        slowest_base: float | None = None
+        if m > 1:
+            hops = self._nic_hops()
+            slowest_base = min(cluster.stream_cap_bps(src_node)
+                               for src_node, _hop in hops)
+            for src_node, hop in hops:
+                specs.append((hop, cluster.stream_cap_bps(src_node), 1))
+            if spec.gpus_per_node > 1:
+                for fabric in self._nvlink_fabrics():
+                    specs.append(([fabric], None, 1))
+        else:
+            for fabric in self._nvlink_fabrics():
+                specs.append(([fabric], None, 1))
+        mode = "flow"
+        entries: list[tuple[object, float | None, int]] | None = None
+        if len(specs) >= AGGREGATE_MIN_FLOWS:
+            mode = "batch"
+            runs: list[tuple[list[list[Link]], float | None, int]] = []
+            for links, cap, weight in specs:
+                if runs and runs[-1][1:] == (cap, weight):
+                    runs[-1][0].append(links)
+                else:
+                    runs.append(([links], cap, weight))
+            if all(len(members) >= RING_BUNDLE_MIN_NODES
+                   for members, _cap, _weight in runs):
+                handles = [(self.network.bundle(members), cap, weight)
+                           for members, cap, weight in runs]
+                if all(handle is not None
+                       for handle, _cap, _weight in handles):
+                    mode = "bundle"
+                    entries = handles
+        plan = _WirePlan(mode, specs, entries, slowest_base)
+        self._wire_cache = plan
+        return plan
+
+    def _launch_wire(self, plan: _WirePlan, hop_bytes: float,
+                     cap_scale: float, label: str) -> list[Event]:
+        """Launch one ``hop_bytes`` transfer per wire-plan spec.
+
+        Identical flow set and launch order as building the spec list
+        per call (NIC hops in node order, then NVLink fabrics), with the
+        plan's unscaled caps multiplied by ``cap_scale``; only the
+        per-call Python work is elided.
+        """
+        network = self.network
+        previous = network.flow_label
+        network.flow_label = label
+        try:
+            if plan.mode == "bundle":
+                assert plan.entries is not None
+                return [network.start_flow_group(
+                            handle, hop_bytes,
+                            rate_cap_bps=(None if base is None
+                                          else base * cap_scale),
+                            weight=weight)
+                        for handle, base, weight in plan.entries]
+            if plan.mode == "batch":
+                return network.start_flows(
+                    [(links, hop_bytes,
+                      None if base is None else base * cap_scale, weight)
+                     for links, base, weight in plan.specs])
+            return [network.start_flow(
+                        links, hop_bytes,
+                        rate_cap_bps=(None if base is None
+                                      else base * cap_scale),
+                        weight=weight)
+                    for links, base, weight in plan.specs]
         finally:
             network.flow_label = previous
 
@@ -373,8 +534,8 @@ class TimedCollectives:
             return self.sim.timeout(0.0)
         hop_bytes = ring_volume_bytes(size_bytes, n)
         steps = 2 * (n - 1)
+        plan = self._wire_plan()
 
-        specs: list[tuple[list[Link], float, float | None, int]] = []
         if m > 1:
             # Per-chunk software overhead is pipelined behind chunk
             # transmission: only the part exceeding the chunk's wire time
@@ -382,27 +543,19 @@ class TimedCollectives:
             # (tiny chunks) therefore pay the overhead; big fusion
             # buffers hide it.  The wire time is set by the slowest hop
             # of the ring, not the default node's NIC.
-            hops = self._nic_hops()
-            slowest = self._slowest_stream_cap_bps(hops, cap_scale)
+            slowest = plan.slowest_base * cap_scale
             chunk_tx = (size_bytes / n) * 8.0 / slowest
             exposed = max(0.0,
                           spec.transport.per_message_overhead_s - chunk_tx)
             alpha = steps * exposed
             fill = m * spec.inter_node_latency_s + \
                 (n - m) * spec.intra_node_latency_s
-            for src_node, hop in hops:
-                cap = self.cluster.stream_cap_bps(src_node) * cap_scale
-                specs.append((hop, hop_bytes, cap, 1))
-            if spec.gpus_per_node > 1:
-                for fabric in self._nvlink_fabrics():
-                    specs.append(([fabric], hop_bytes, None, 1))
         else:
             alpha = steps * spec.intra_node_latency_s
             fill = 0.0
-            for fabric in self._nvlink_fabrics():
-                specs.append(([fabric], hop_bytes, None, 1))
 
-        all_flows = self.sim.all_of(self._launch(specs, label="ring"))
+        all_flows = self.sim.all_of(
+            self._launch_wire(plan, hop_bytes, cap_scale, "ring"))
         return self._after(all_flows, alpha + fill)
 
     def _hierarchical(self, size_bytes: float,

@@ -150,7 +150,14 @@ class LinkUtilisationSampler:
         self.links: dict[str, list[float]] = {}
 
     def observe_interval(self, elapsed: float, flows: t.Iterable) -> None:
-        """Credit one constant-rate interval of the fluid model."""
+        """Credit one constant-rate interval of the fluid model.
+
+        Bundled flow groups are unrolled member by member
+        (:meth:`~repro.sim.network.Flow.member_link_sets`): each member's
+        links are credited at the per-member rate, so the per-link
+        integrals are identical whether or not the network bundled the
+        fan-out.
+        """
         if elapsed <= 0:
             return
         loads: dict[object, float] = {}
@@ -158,8 +165,9 @@ class LinkUtilisationSampler:
             rate = flow.rate_bps
             if rate <= 0:
                 continue
-            for link in flow.links:
-                loads[link] = loads.get(link, 0.0) + rate
+            for links in flow.member_link_sets():
+                for link in links:
+                    loads[link] = loads.get(link, 0.0) + rate
         for link, rate in loads.items():
             state = self.links.get(link.name)
             if state is None:

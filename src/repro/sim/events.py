@@ -56,7 +56,8 @@ class Event:
         Optional human-readable label used in traces and error messages.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_ok")
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok",
+                 "_scheduled", "_pooled")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -64,6 +65,15 @@ class Event:
         self.callbacks: list[Callback] | None = []
         self._value: object = _PENDING
         self._ok: bool = True
+        #: Heap-entry balance: incremented when the kernel schedules this
+        #: event, decremented when it triggers.  Non-zero means at least
+        #: one pending heap entry still references the object, so it must
+        #: not be recycled (see :meth:`Simulator.release_event`).
+        self._scheduled: int = 0
+        #: Whether the event currently sits in the kernel's event pool.
+        #: Guards against double-release (a cancellation path and the
+        #: wakeup callback may both try to return the same object).
+        self._pooled: bool = False
 
     # -- state inspection -------------------------------------------------
 
@@ -92,6 +102,7 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
         self._ok = True
+        self._scheduled -= 1
         self.sim._dispatch(self)
         return self
 
@@ -107,12 +118,13 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = exception
         self._ok = False
+        self._scheduled -= 1
         self.sim._dispatch(self)
         return self
 
     # -- observer registration ----------------------------------------------
 
-    def _reset_for_reuse(self) -> None:
+    def _reset_for_reuse(self, name: str = "") -> None:
         """Return a fired event to the untriggered state (object pooling).
 
         Strictly internal: only safe for events whose every reference is
@@ -120,12 +132,16 @@ class Event:
         are never yielded to processes, and each one is popped from the
         kernel heap exactly once before it is recycled).  Pooling them
         cuts one allocation per rate reallocation off the hot path; the
-        recycled event is observationally identical to a fresh one, so
-        replay digests are unchanged.
+        recycled event is observationally identical to a fresh one
+        (including its name, which the replay digest folds), so replay
+        digests are unchanged.  :meth:`Simulator.release_event` refuses
+        events with a pending heap entry (``_scheduled > 0``), so a
+        recycled event can never be resurrected into a double-trigger.
         """
         self._value = _PENDING
         self._ok = True
         self.callbacks = []
+        self.name = name
 
     def add_callback(self, callback: Callback) -> None:
         """Invoke ``callback(event)`` when the event triggers.

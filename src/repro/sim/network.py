@@ -11,7 +11,7 @@ efficiency limit of the transport protocol.  Whenever a flow starts or
 finishes, the allocation is recomputed and every in-flight flow's progress
 is advanced.
 
-Scaling to 128–256-rank clusters relies on two hot-path properties:
+Scaling to 1024–4096-rank clusters relies on three hot-path properties:
 
 * **Incremental recomputation.**  A flow arrival/departure (or a capacity
   change) only re-solves the *bottleneck component* it touches: the links
@@ -25,12 +25,35 @@ Scaling to 128–256-rank clusters relies on two hot-path properties:
   :func:`solve_rates_reference` keeps the from-scratch solver alive as the
   oracle for the property-based equivalence tests.
 
-* **Weighted flows.**  ``start_flow(..., weight=k)`` models ``k``
-  identical transport streams as one flow: the flow counts ``k`` toward
-  every traversed link's load, receives ``k`` fair shares, and its
-  ``rate_cap_bps`` applies per stream.  The timed collectives use this to
-  aggregate the per-local-rank parallel rings of large hierarchical
-  all-reduces (identical rate trajectories) into one flow each.
+* **Vectorized hot state.**  Every flow's mutable solver state — bits
+  remaining, assigned rate, seconds-to-completion — lives in one
+  structure-of-arrays table (:class:`_FlowTable`) indexed by a stable
+  *slot* id assigned in creation order.  Progress advancement, the
+  next-completion scan and the completion sweep are single numpy
+  expressions over contiguous ``float64`` arrays instead of per-object
+  Python attribute churn, and components above
+  ``VECTOR_SOLVE_MIN_FLOWS`` flows water-fill over array slices.  IEEE
+  754 elementwise array arithmetic performs bit-identical operations to
+  the scalar loops it replaces (min/minimum are order-independent, and
+  every division/multiplication maps one-to-one), so replay digests are
+  unchanged at every scale — the vector paths need no gating.
+
+* **Flow bundling.**  A symmetric collective fan-out (one identical flow
+  per node pair, pairwise-disjoint links) collapses into a single
+  :class:`GroupFlow` solver entity: only the *representative* member's
+  links enter the solver, the remaining members' links carry claim
+  markers, and one completion event stands for the whole fan-out.  Any
+  operation that would break the symmetry — a foreign flow or a capacity
+  change touching a claimed link — first splits the bundle back into
+  per-member flows, so rates stay exact under faults and congestion.
+  Bundling changes the *event schedule* (fewer wakeups and completions),
+  so the timed collectives gate it to scales far above every pinned
+  golden digest (see ``RING_BUNDLE_MIN_NODES`` in
+  :mod:`repro.collectives.timed`).
+
+``start_flow(..., weight=k)`` models ``k`` identical transport streams as
+one flow: the flow counts ``k`` toward every traversed link's load,
+receives ``k`` fair shares, and its ``rate_cap_bps`` applies per stream.
 
 Capacities and rates are in **bits per second**, sizes in **bits**,
 consistent with the rest of :mod:`repro.sim` (time in seconds).
@@ -41,6 +64,8 @@ from __future__ import annotations
 import itertools
 import math
 import typing as t
+
+import numpy as np
 
 from repro.errors import NetworkError
 from repro.sim.events import Event
@@ -57,6 +82,15 @@ _COMPLETE_BITS = 0.5
 #: A capped flow counts as fabric-throttled only below this fraction of
 #: its per-stream rate cap (see ``FluidNetwork._record_flow``).
 THROTTLE_DEPTH = 0.5
+
+#: Component size from which water-filling switches from the scalar
+#: dict-based loop to the vectorized array solver.  A pure performance
+#: switch: both paths perform bit-identical float operations (the
+#: differential property tests force the vector path onto tiny
+#: components and compare against :func:`solve_rates_reference`), so the
+#: threshold needs no digest gating — it only balances numpy dispatch
+#: overhead against Python loop cost.
+VECTOR_SOLVE_MIN_FLOWS = 24
 
 
 class Link:
@@ -92,24 +126,120 @@ class Link:
         return f"<Link {self.name} {gbps:.1f}Gbps {len(self.flows)} flows>"
 
 
+class _FlowTable:
+    """Structure-of-arrays hot state for every in-flight flow.
+
+    Slots are assigned strictly in creation order and never reused until
+    :meth:`compact` packs the live entries down (preserving their
+    relative order), so **ascending slot order is creation order** — the
+    iteration-order invariant every sweep relies on for replay
+    determinism.  Dead slots are neutral elements for every vector
+    operation: rate 0 (no progress), remaining 0, finish ``inf`` (never
+    the next completion), multiplier 0 (no delivered-bits credit),
+    ``live`` False (excluded from completion sweeps).
+    """
+
+    __slots__ = ("remaining", "rate", "finish", "mult", "live",
+                 "size", "dead", "flow_by_slot")
+
+    _INITIAL = 64
+    #: Compact once at least this many dead slots have accumulated…
+    _COMPACT_MIN_DEAD = 64
+    #: …and the dead fraction exceeds half the table.
+
+    def __init__(self) -> None:
+        n = self._INITIAL
+        self.remaining = np.zeros(n)
+        self.rate = np.zeros(n)
+        self.finish = np.full(n, math.inf)
+        self.mult = np.zeros(n)
+        self.live = np.zeros(n, dtype=bool)
+        #: Slots in use (high-water mark), including dead ones.
+        self.size = 0
+        self.dead = 0
+        self.flow_by_slot: list["Flow | None"] = []
+
+    def add(self, flow: "Flow", remaining_bits: float, mult: float) -> int:
+        slot = self.size
+        if slot == len(self.rate):
+            self._grow()
+        self.size = slot + 1
+        self.remaining[slot] = remaining_bits
+        self.rate[slot] = 0.0
+        self.finish[slot] = math.inf
+        self.mult[slot] = mult
+        self.live[slot] = True
+        self.flow_by_slot.append(flow)
+        return slot
+
+    def free(self, slot: int) -> None:
+        self.live[slot] = False
+        self.rate[slot] = 0.0
+        self.remaining[slot] = 0.0
+        self.finish[slot] = math.inf
+        self.mult[slot] = 0.0
+        self.flow_by_slot[slot] = None
+        self.dead += 1
+        if self.dead >= self._COMPACT_MIN_DEAD and self.dead * 2 >= self.size:
+            self.compact()
+
+    def _grow(self) -> None:
+        n = len(self.rate)
+        grown = n * 2
+        for name in ("remaining", "rate", "finish", "mult", "live"):
+            old = getattr(self, name)
+            fresh = np.empty(grown, dtype=old.dtype)
+            fresh[:n] = old
+            if name == "finish":
+                fresh[n:] = math.inf
+            else:
+                fresh[n:] = 0
+            setattr(self, name, fresh)
+
+    def compact(self) -> None:
+        """Pack live entries to the front, preserving creation order."""
+        keep = [f for f in self.flow_by_slot if f is not None]
+        index = np.array([f._slot for f in keep], dtype=np.intp)
+        n = len(keep)
+        old_size = self.size
+        for name in ("remaining", "rate", "finish", "mult", "live"):
+            arr = getattr(self, name)
+            arr[:n] = arr[index]
+            if name == "finish":
+                arr[n:old_size] = math.inf
+            else:
+                arr[n:old_size] = 0
+        for slot, flow in enumerate(keep):
+            flow._slot = slot
+        self.flow_by_slot = t.cast("list[Flow | None]", keep)
+        self.size = n
+        self.dead = 0
+
+
 class Flow:
     """A single in-flight data transfer across one or more links.
 
     ``weight`` models a bundle of identical transport streams: the flow
     takes ``weight`` shares of every traversed link and its per-stream
     rate cap scales accordingly (``rate_bps`` is the bundle total).
+
+    Mutable solver state (``remaining_bits``, ``rate_bps``, the cached
+    seconds-to-completion) lives in the owning :class:`_FlowTable`; the
+    attribute-style accessors below delegate to the flow's table slot
+    and return plain Python floats, so scalar code paths (and external
+    consumers such as the diagnosis samplers) are unaffected by the
+    array-backed storage.
     """
 
-    __slots__ = ("flow_id", "links", "size_bits", "remaining_bits",
-                 "rate_cap_bps", "rate_bps", "done", "started_at",
-                 "_last_update", "tail_latency_s", "weight", "_finish_s",
-                 "label")
+    __slots__ = ("flow_id", "links", "size_bits", "rate_cap_bps", "done",
+                 "started_at", "tail_latency_s", "weight", "label",
+                 "_table", "_slot")
 
     _ids = itertools.count()
 
-    def __init__(self, links: t.Sequence[Link], size_bits: float,
-                 rate_cap_bps: float | None, done: Event, now: float,
-                 tail_latency_s: float = 0.0, weight: int = 1,
+    def __init__(self, table: _FlowTable, links: t.Sequence[Link],
+                 size_bits: float, rate_cap_bps: float | None, done: Event,
+                 now: float, tail_latency_s: float = 0.0, weight: int = 1,
                  label: str | None = None) -> None:
         if size_bits < 0:
             raise NetworkError(f"flow size must be non-negative, got {size_bits}")
@@ -124,26 +254,142 @@ class Flow:
         self.flow_id = next(Flow._ids)
         self.links = tuple(links)
         self.size_bits = float(size_bits)
-        self.remaining_bits = float(size_bits)
         self.rate_cap_bps = rate_cap_bps
-        self.rate_bps = 0.0
         self.done = done
         self.started_at = now
-        self._last_update = now
         self.tail_latency_s = tail_latency_s
         self.weight = weight
         #: Optional provenance tag (e.g. the collective algorithm that
         #: placed this flow); surfaces in flow telemetry, never in rates.
         self.label = label
-        #: Cached seconds-to-completion at the current (rate, remaining);
-        #: ``inf`` while the rate is zero.  Kept equal to the division
-        #: ``remaining_bits / rate_bps`` the wakeup scan used to perform
-        #: per flow per event, so the scan degrades to a compare.
-        self._finish_s = math.inf
+        self._table = table
+        self._slot = table.add(self, self.size_bits, 1.0)
+
+    # -- table-backed hot state -------------------------------------------
+
+    @property
+    def remaining_bits(self) -> float:
+        return self._table.remaining.item(self._slot)
+
+    @remaining_bits.setter
+    def remaining_bits(self, value: float) -> None:
+        self._table.remaining[self._slot] = value
+
+    @property
+    def rate_bps(self) -> float:
+        return self._table.rate.item(self._slot)
+
+    @rate_bps.setter
+    def rate_bps(self, value: float) -> None:
+        self._table.rate[self._slot] = value
+
+    @property
+    def _finish_s(self) -> float:
+        """Cached seconds-to-completion (``inf`` while the rate is zero)."""
+        return self._table.finish.item(self._slot)
+
+    @_finish_s.setter
+    def _finish_s(self, value: float) -> None:
+        self._table.finish[self._slot] = value
+
+    def member_link_sets(self) -> tuple[tuple[Link, ...], ...]:
+        """Link sets of the transfers this entity stands for.
+
+        A plain flow stands for itself; a :class:`GroupFlow` yields one
+        link set per bundled member.  Telemetry (completion records, the
+        diagnosis link sampler) iterates these so per-link accounting is
+        identical whether or not a fan-out was bundled.
+        """
+        return (self.links,)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Flow#{self.flow_id} {self.remaining_bits / 8e6:.2f}MB left "
                 f"@ {self.rate_bps / 1e9:.2f}Gbps x{self.weight}>")
+
+
+class GroupFlow(Flow):
+    """A bundle of identical member transfers on pairwise-disjoint links.
+
+    Only the representative member (``member_links[0]``) participates in
+    rate solving; by construction every other member would see exactly
+    the same capacities and competitors (competing entities on a bundled
+    link are themselves aligned group members), so the representative's
+    rate trajectory is exact for all members.  ``size_bits`` and
+    ``rate_bps`` are **per member**; the table's delivered-bits
+    multiplier accounts for the full fan-out.
+
+    ``member_links`` passed as a tuple is trusted to already be a tuple
+    of link tuples (the canonical form) so that repeated launches off a
+    cached :class:`FlowBundle` skip the per-member normalisation.
+    """
+
+    __slots__ = ("member_links", "_channel")
+
+    def __init__(self, table: _FlowTable,
+                 member_links: t.Sequence[t.Sequence[Link]],
+                 size_bits: float, rate_cap_bps: float | None, done: Event,
+                 now: float, tail_latency_s: float = 0.0, weight: int = 1,
+                 label: str | None = None) -> None:
+        members = member_links if isinstance(member_links, tuple) \
+            else tuple(tuple(links) for links in member_links)
+        if len(members) < 2:
+            raise NetworkError("a flow group needs at least two members")
+        self.member_links = members
+        #: The :class:`_BundleChannel` whose claim this group rides
+        #: (set by the network right after construction).
+        self._channel: "_BundleChannel | None" = None
+        super().__init__(table, members[0], size_bits, rate_cap_bps, done,
+                         now, tail_latency_s=tail_latency_s, weight=weight,
+                         label=label)
+        table.mult[self._slot] = float(len(members))
+
+    def member_link_sets(self) -> tuple[tuple[Link, ...], ...]:
+        return self.member_links
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<GroupFlow#{self.flow_id} x{len(self.member_links)} members "
+                f"{self.remaining_bits / 8e6:.2f}MB left each "
+                f"@ {self.rate_bps / 1e9:.2f}Gbps>")
+
+
+class FlowBundle:
+    """Reusable handle for the member structure of one bundled fan-out.
+
+    Created once by :meth:`FluidNetwork.bundle` (which performs the
+    *structural* half of bundling validation — member shape and pairwise
+    link disjointness, neither of which can change at runtime) and then
+    passed to :meth:`FluidNetwork.start_flow_group` on every launch.
+    The *dynamic* half — identical capacity profiles and unoccupied
+    links — is checked when the handle first registers a claim channel,
+    and the claim then persists across launches: a steady-state ring
+    unit relaunches in O(representative links) instead of revalidating
+    all members each step.
+    """
+
+    __slots__ = ("members", "_channel")
+
+    def __init__(self, members: tuple[tuple[Link, ...], ...]) -> None:
+        self.members = members
+        self._channel: _BundleChannel | None = None
+
+
+class _BundleChannel:
+    """Live claim on one bundle's link set, shared by aligned handles.
+
+    One channel owns each claimed link exclusively (channels are
+    link-disjoint by registration), so a foreign touch on any claimed
+    link identifies exactly the set of groups whose symmetry it breaks:
+    the channel's.  ``claimed`` drops when the channel is deregistered;
+    handles pointing at a dead channel re-register on their next launch.
+    """
+
+    __slots__ = ("members", "groups", "claimed")
+
+    def __init__(self, members: tuple[tuple[Link, ...], ...]) -> None:
+        self.members = members
+        #: Live groups riding this claim, in creation order.
+        self.groups: dict[GroupFlow, None] = {}
+        self.claimed = True
 
 
 def solve_rates_reference(flows: t.Iterable[Flow]) -> dict[Flow, float]:
@@ -213,25 +459,29 @@ class FluidNetwork:
         # must visit flows in creation order so that identical runs
         # schedule identical event sequences.
         self.flows: dict[Flow, None] = {}
+        #: Array-backed hot state of every flow in ``self.flows``.
+        self._table = _FlowTable()
         #: Links whose flow membership or capacity changed since the last
         #: rate assignment; the solver re-solves only the components
         #: reachable from these (insertion-ordered for reproducibility).
         self._dirty_links: dict[Link, None] = {}
+        #: ``link -> channel`` claim markers for every link a bundled
+        #: fan-out stands on (representative links included).  Each link
+        #: is owned by at most one :class:`_BundleChannel`; any foreign
+        #: touch on a claimed link splits the channel's groups back into
+        #: per-member flows and releases the claim.
+        self._claims: dict[Link, _BundleChannel] = {}
         #: Monotonic token used to invalidate stale wakeup events.
         self._wakeup_token = 0
-        #: Clock value of the last progress advance; lets same-instant
-        #: re-advances (batched arrivals) skip the flow scan.
+        #: Clock value of the last progress advance.  All flows advance
+        #: in lockstep — every public operation advances before mutating
+        #: the flow set — so one scalar timestamp replaces the per-flow
+        #: ``_last_update`` field the scalar engine carried.
         self._progress_time = -1.0
         #: Raised when some flow may have crossed the completion
         #: threshold; gates the completion sweep in
         #: :meth:`_complete_finished`.
         self._maybe_finished = False
-        #: Recycled wakeup :class:`Event` slots.  A wakeup is scheduled on
-        #: every reallocation and most are superseded before firing; each
-        #: is popped from the kernel heap exactly once and never escapes
-        #: this class, so the object can be reset and reused instead of
-        #: allocated fresh (see :meth:`Event._reset_for_reuse`).
-        self._wakeup_pool: list[Event] = []
         #: Total bits delivered, for utilisation accounting.
         self.bits_delivered = 0.0
         #: Solver work counters (observability / benchmark forensics):
@@ -279,11 +529,13 @@ class FluidNetwork:
             # size); never enters the rate allocator.
             self.sim._schedule_at(self.sim.now + latency, done, latency)
             return done
-        flow = Flow(links, size_bytes * 8.0, rate_cap_bps, done, self.sim.now,
-                    tail_latency_s=latency, weight=weight,
-                    label=self.flow_label)
+        if self._claims:
+            self._split_claimed(links)
         self._advance_progress()
-        if flow.remaining_bits <= _COMPLETE_BITS:
+        flow = Flow(self._table, links, size_bytes * 8.0, rate_cap_bps, done,
+                    self.sim.now, tail_latency_s=latency, weight=weight,
+                    label=self.flow_label)
+        if flow.size_bits <= _COMPLETE_BITS:
             self._maybe_finished = True
         self.flows[flow] = None
         dirty = self._dirty_links
@@ -313,6 +565,11 @@ class FluidNetwork:
         historical replay digest keep using :meth:`start_flow` (see
         ``AGGREGATE_MIN_FLOWS`` in :mod:`repro.collectives.timed`).
         """
+        if self._claims:
+            self._split_claimed(
+                link for links, _size, _cap, _weight in requests
+                for link in links)
+        self._advance_progress()
         events: list[Event] = []
         flows: list[Flow] = []
         now = self.sim.now
@@ -323,16 +580,16 @@ class FluidNetwork:
             if size_bytes <= 0:
                 self.sim._schedule_at(now + latency, done, latency)
                 continue
-            flows.append(Flow(links, size_bytes * 8.0, rate_cap_bps, done,
-                              now, tail_latency_s=latency, weight=weight,
+            flows.append(Flow(self._table, links, size_bytes * 8.0,
+                              rate_cap_bps, done, now,
+                              tail_latency_s=latency, weight=weight,
                               label=self.flow_label))
         if not flows:
             return events
-        self._advance_progress()
         dirty = self._dirty_links
         for flow in flows:
             self.flows[flow] = None
-            if flow.remaining_bits <= _COMPLETE_BITS:
+            if flow.size_bits <= _COMPLETE_BITS:
                 self._maybe_finished = True
             weight = flow.weight
             for link in flow.links:
@@ -342,9 +599,152 @@ class FluidNetwork:
         self._reallocate()
         return events
 
+    def bundle(self, member_links: t.Sequence[t.Sequence[Link]]
+               ) -> FlowBundle | None:
+        """Precompute a reusable :class:`FlowBundle` handle for a fan-out.
+
+        Performs the structural half of bundling validation — at least
+        two members, equal member lengths, pairwise-disjoint links —
+        which depends only on the (immutable) topology, so callers that
+        relaunch the same fan-out every step (the timed collectives'
+        wire plans) pay it once.  Returns ``None`` when the structure
+        can never bundle (e.g. every member shares an oversubscribed
+        core link); such fan-outs always take the per-member path.
+        """
+        members = member_links if isinstance(member_links, tuple) \
+            else tuple(tuple(links) for links in member_links)
+        if len(members) < 2:
+            return None
+        rep_len = len(members[0])
+        seen: set[Link] = set()
+        for links in members:
+            if len(links) != rep_len:
+                return None
+            for link in links:
+                if link in seen:
+                    return None
+                seen.add(link)
+        return FlowBundle(members)
+
+    def start_flow_group(self,
+                         member_links: "FlowBundle | t.Sequence[t.Sequence[Link]]",
+                         size_bytes: float,
+                         rate_cap_bps: float | None = None,
+                         weight: int = 1) -> Event:
+        """Begin one identical ``size_bytes`` transfer per member link set.
+
+        The symmetric fan-out of a large collective — one flow per node
+        pair, all the same size/cap/weight on pairwise-disjoint,
+        capacity-identical paths — enters the solver as a **single**
+        :class:`GroupFlow` entity when bundling is exact (structure via
+        :meth:`bundle`, capacity profile and link occupancy via the
+        claim channel); otherwise this falls back to per-member flows
+        through the batched path, so the returned event's timing is
+        identical either way.  ``member_links`` may be a
+        :class:`FlowBundle` from :meth:`bundle`, in which case the
+        steady-state relaunch costs O(representative links) only.
+        Returns one event that triggers when every member has drained
+        plus the link latencies; its value is the member transfer
+        duration plus tail latency.
+        """
+        if isinstance(member_links, FlowBundle):
+            handle: FlowBundle | None = member_links
+            members = member_links.members
+        else:
+            members = tuple(tuple(links) for links in member_links)
+            if not members:
+                raise NetworkError("a flow group needs at least one member")
+            handle = self.bundle(members)
+        if len(members) == 1:
+            return self.start_flow(members[0], size_bytes,
+                                   rate_cap_bps=rate_cap_bps, weight=weight)
+        rep = members[0]
+        latency = sum(link.latency_s for link in rep)
+        if size_bytes <= 0:
+            done = self.sim.event(name="flowgroup.done")
+            self.sim._schedule_at(self.sim.now + latency, done, latency)
+            return done
+        channel = handle._channel if handle is not None else None
+        if channel is None or not channel.claimed:
+            channel = self._register_bundle(handle) \
+                if handle is not None else None
+            if handle is not None:
+                handle._channel = channel
+        if channel is None:
+            # Fall back to per-member flows (splitting any bundles the
+            # members' links belong to happens inside start_flows); a
+            # countdown joins the member completions into the single
+            # event this API promises.
+            done = self.sim.event(name="flowgroup.done")
+            events = self.start_flows(
+                [(links, size_bytes, rate_cap_bps, weight)
+                 for links in members])
+            pending = [len(events)]
+
+            def _member_done(ev: Event) -> None:
+                pending[0] -= 1
+                if pending[0] == 0:
+                    done.succeed(ev.value)
+
+            for event in events:
+                event.add_callback(_member_done)
+            return done
+        self._advance_progress()
+        done = self.sim.event(name="flowgroup.done")
+        group = GroupFlow(self._table, members, size_bytes * 8.0,
+                          rate_cap_bps, done, self.sim.now,
+                          tail_latency_s=latency, weight=weight,
+                          label=self.flow_label)
+        group._channel = channel
+        channel.groups[group] = None
+        if group.size_bits <= _COMPLETE_BITS:
+            self._maybe_finished = True
+        self.flows[group] = None
+        dirty = self._dirty_links
+        for link in rep:
+            link.flows[group] = None
+            link.load += weight
+            dirty[link] = None
+        self._reallocate()
+        return done
+
+    def cancel_flow(self, done: Event) -> bool:
+        """Abort the in-flight transfer whose completion event is ``done``.
+
+        The fault-injection hook: an interrupted worker's transfers stop
+        consuming bandwidth immediately, and their completion events are
+        simply never fired (matching a hung NCCL collective, which is
+        detected by timeout, not by an error).  Bandwidth is
+        re-allocated to the survivors at once.  Returns ``False`` when no
+        in-flight flow owns ``done`` (already completed, zero-byte, or
+        never started) — cancelling twice is a harmless no-op.
+
+        Superseded wakeup events left in the kernel heap by the
+        cancelled allocation are *not* recycled here: they still hold
+        pending heap entries, and :meth:`Simulator.release_event`
+        refuses them (see the event-pool regression tests), so they die
+        naturally when popped instead of resurrecting into the pool.
+        """
+        for flow in self.flows:
+            if flow.done is done:
+                break
+        else:
+            return False
+        self._advance_progress()
+        self._retire_flow(flow)
+        self._reallocate()
+        return True
+
     def utilization_of(self, link: Link) -> float:
         """Instantaneous fraction of ``link`` capacity currently in use."""
         used = sum(f.rate_bps for f in link.flows)
+        channel = self._claims.get(link)
+        if channel is not None:
+            # Non-representative bundled members do not sit in
+            # ``link.flows``; credit their per-member rates explicitly.
+            for group in channel.groups:
+                if link not in group.links:
+                    used += group.rate_bps
         return used / link.capacity_bps
 
     def set_link_capacity(self, link: Link, capacity_bps: float) -> None:
@@ -359,45 +759,169 @@ class FluidNetwork:
             raise NetworkError(
                 f"link {link.name!r} capacity must be positive"
             )
+        if self._claims:
+            # A capacity change on any bundled member's link breaks the
+            # symmetry bundling relies on; split first so the degraded
+            # member is solved individually.
+            self._split_claimed((link,))
         self._advance_progress()
         link.capacity_bps = float(capacity_bps)
         self._dirty_links[link] = None
         self._reallocate()
+
+    # -- bundling ----------------------------------------------------------
+
+    def _register_bundle(self, handle: FlowBundle) -> _BundleChannel | None:
+        """Claim a handle's links, validating the dynamic exactness half.
+
+        Exactness conditions beyond the structural ones :meth:`bundle`
+        already pinned: every member traverses the same capacity/latency
+        profile as the representative, and every link is otherwise
+        unoccupied — except by an **aligned** channel (identical member
+        partition), whose representatives share the same links and
+        therefore keep the symmetry exact; such a channel is adopted so
+        concurrent aligned launches (multi-stream pipelining) share one
+        claim.  Stale claims of idle misaligned channels are evicted.
+        Runs once per handle lifetime in the steady state; returns
+        ``None`` when bundling is not exact right now.
+        """
+        members = handle.members
+        profile = tuple((link.capacity_bps, link.latency_s)
+                        for link in members[0])
+        for links in members:
+            if tuple((link.capacity_bps, link.latency_s)
+                     for link in links) != profile:
+                return None
+        claims = self._claims
+        channels: dict[int, _BundleChannel] = {}
+        for links in members:
+            for link in links:
+                existing = claims.get(link)
+                if existing is not None:
+                    channels[id(existing)] = existing
+                elif link.flows:
+                    return None
+        adopted: _BundleChannel | None = None
+        for existing in channels.values():
+            if existing.members == members:
+                adopted = existing
+            elif existing.groups:
+                return None
+            else:
+                self._deregister_channel(existing)
+        channel = adopted if adopted is not None else _BundleChannel(members)
+        for links in members:
+            for link in links:
+                claims[link] = channel
+        return channel
+
+    def _deregister_channel(self, channel: _BundleChannel) -> None:
+        """Release a channel's link claims; its handles re-register later."""
+        claims = self._claims
+        for links in channel.members:
+            for link in links:
+                if claims.get(link) is channel:
+                    del claims[link]
+        channel.claimed = False
+
+    def _split_claimed(self, links: t.Iterable[Link]) -> None:
+        """Split every bundle whose symmetry ``links`` would break.
+
+        Channels are link-disjoint and a channel's split flows land only
+        on its own links, so the split set is exactly the touched
+        channels' groups — no transitive closure across channels is
+        possible.  Splits apply in flow-creation order (deterministic
+        regardless of discovery order).
+        """
+        claims = self._claims
+        if not claims:
+            return
+        channels: dict[int, _BundleChannel] = {}
+        for link in links:
+            channel = claims.get(link)
+            if channel is not None:
+                channels[id(channel)] = channel
+        if not channels:
+            return
+        groups = [group for channel in channels.values()
+                  for group in channel.groups]
+        for channel in channels.values():
+            self._deregister_channel(channel)
+        for group in sorted(groups, key=lambda g: g.flow_id):
+            self._split_group(group)
+
+    def _split_group(self, group: GroupFlow) -> None:
+        """Replace one bundle with per-member flows, mid-transfer.
+
+        The members inherit the bundle's progress (identical by
+        symmetry), its start time and its tail latency; a countdown
+        joins their completions into the group's original public event,
+        so callers holding it observe nothing.  The caller is expected
+        to continue its own operation and re-allocate once.
+        """
+        self._advance_progress()
+        remaining = group.remaining_bits
+        self._retire_flow(group)
+        pending = [len(group.member_links)]
+        public = group.done
+
+        def _member_done(ev: Event) -> None:
+            pending[0] -= 1
+            if pending[0] == 0:
+                public.succeed(ev.value)
+
+        dirty = self._dirty_links
+        for links in group.member_links:
+            inner = self.sim.event(name="flow.done")
+            inner.add_callback(_member_done)
+            flow = Flow(self._table, links, group.size_bits,
+                        group.rate_cap_bps, inner, group.started_at,
+                        tail_latency_s=group.tail_latency_s,
+                        weight=group.weight, label=group.label)
+            flow.remaining_bits = remaining
+            if remaining <= _COMPLETE_BITS:
+                self._maybe_finished = True
+            self.flows[flow] = None
+            for link in links:
+                link.flows[flow] = None
+                link.load += group.weight
+                dirty[link] = None
 
     # -- engine -----------------------------------------------------------
 
     def _advance_progress(self) -> None:
         """Debit every active flow for the time elapsed at its current rate.
 
-        If the clock has not moved since the last advance, every flow's
-        ``_last_update`` already equals ``now`` (flows created since were
-        stamped with it), so the whole scan is a no-op and is skipped —
-        this is the common case for batched same-instant arrivals.
+        One vector expression over the flow table: every public
+        operation advances before mutating the flow set, so all flows
+        share the same elapsed interval.  If the clock has not moved
+        since the last advance the whole update is skipped — the common
+        case for batched same-instant arrivals.
         """
         now = self.sim.now
         if now == self._progress_time:
             return
+        elapsed = now - self._progress_time
         if self.diag is not None and self._progress_time >= 0.0 and self.flows:
             # Rates were constant over the elapsed interval, so this
             # samples link utilisation exactly (no polling error).
-            self.diag.link_sampler.observe_interval(
-                now - self._progress_time, self.flows)
+            self.diag.link_sampler.observe_interval(elapsed, self.flows)
         self._progress_time = now
-        for flow in self.flows:
-            elapsed = now - flow._last_update
-            if elapsed > 0 and flow.rate_bps > 0:
-                remaining = flow.remaining_bits
-                sent = flow.rate_bps * elapsed
-                if sent > remaining:
-                    sent = remaining
-                remaining -= sent
-                flow.remaining_bits = remaining
-                self.bits_delivered += sent
-                # Same division the wakeup scan used to redo per event.
-                flow._finish_s = remaining / flow.rate_bps
-                if remaining <= _COMPLETE_BITS:
-                    self._maybe_finished = True
-            flow._last_update = now
+        table = self._table
+        n = table.size
+        if n == 0:
+            return
+        remaining = table.remaining[:n]
+        rate = table.rate[:n]
+        sent = rate * elapsed
+        np.minimum(sent, remaining, out=sent)
+        remaining -= sent
+        self.bits_delivered += float(sent @ table.mult[:n])
+        # Same division the wakeup scan used to redo per flow per event;
+        # zero-rate (and dead) slots keep their current ``inf``.
+        np.divide(remaining, rate, out=table.finish[:n], where=rate > 0.0)
+        if bool(((remaining <= _COMPLETE_BITS) & table.live[:n]).any()):
+            self._maybe_finished = True
 
     def _reallocate(self) -> None:
         """Re-run water-filling and schedule the next completion wakeup.
@@ -453,6 +977,7 @@ class FluidNetwork:
 
     def _solve_component(self, flows_seen: dict[Flow, None]) -> None:
         """Water-fill one bottleneck component (in flow-creation order)."""
+        table = self._table
         if len(flows_seen) == 1:
             # Fast path: a flow alone on its links (the common case on a
             # non-blocking fabric, where every NIC pair is its own
@@ -472,13 +997,17 @@ class FluidNetwork:
             rate = share if share > 0.0 else 0.0
             if weight != 1:
                 rate *= weight
-            flow.rate_bps = rate
-            flow._finish_s = flow.remaining_bits / rate if rate > 0 \
-                else math.inf
+            slot = flow._slot
+            table.rate[slot] = rate
+            table.finish[slot] = (table.remaining.item(slot) / rate
+                                  if rate > 0 else math.inf)
             return
         # Global creation order makes the per-link arithmetic match a
         # from-scratch global solve exactly.
         component = sorted(flows_seen, key=lambda f: f.flow_id)
+        if len(component) >= VECTOR_SOLVE_MIN_FLOWS:
+            self._solve_component_vector(component)
+            return
         unassigned: dict[Flow, None] = dict.fromkeys(component)
         residual: dict[Link, float] = {}
         load: dict[Link, int] = {}
@@ -519,6 +1048,90 @@ class FluidNetwork:
             for flow in bottlenecked:
                 fix_rate(flow, share, unassigned, residual, load)
 
+    def _solve_component_vector(self, component: list[Flow]) -> None:
+        """Array water-fill of one component, bit-identical to the scalar.
+
+        Per-round float operations map one-to-one onto the scalar loop:
+        the fair share is a min over the identical per-link divisions
+        (min is order-independent), fixing a set of flows subtracts the
+        identical rates from the identical residuals (clamping once
+        after a batch of monotone non-negative subtractions lands on the
+        same value as clamping after each — both floor at 0 as soon as
+        any intermediate goes negative, and exact subtraction chains are
+        associativity-free), and the final ``remaining/rate`` divisions
+        match the scalar ``_fix_rate``.  Only the *bookkeeping* — who is
+        unassigned, which link is a bottleneck — moves into arrays.
+        """
+        nf = len(component)
+        weight_f = np.empty(nf)
+        cap_f = np.full(nf, math.inf)
+        has_cap = np.zeros(nf, dtype=bool)
+        link_index: dict[Link, int] = {}
+        links: list[Link] = []
+        inc_flow: list[int] = []
+        inc_link: list[int] = []
+        for fi, flow in enumerate(component):
+            weight_f[fi] = flow.weight
+            cap = flow.rate_cap_bps
+            if cap is not None:
+                has_cap[fi] = True
+                cap_f[fi] = cap
+            for link in flow.links:
+                li = link_index.get(link)
+                if li is None:
+                    li = link_index[link] = len(links)
+                    links.append(link)
+                inc_flow.append(fi)
+                inc_link.append(li)
+        nl = len(links)
+        residual = np.array([link.capacity_bps for link in links])
+        # Integer loads stored as float64: weights are small integers, so
+        # every subtraction below is exact and ``load > 0`` stays crisp.
+        load = np.array([float(link.load) for link in links])
+        inc_flow_a = np.asarray(inc_flow, dtype=np.intp)
+        inc_link_a = np.asarray(inc_link, dtype=np.intp)
+        unassigned = np.ones(nf, dtype=bool)
+        rates = np.zeros(nf)
+        ratio = np.empty(nl)
+
+        while bool(unassigned.any()):
+            loaded = load > 0.0
+            ratio.fill(math.inf)
+            np.divide(residual, load, out=ratio, where=loaded)
+            share = float(ratio.min())
+            if share == math.inf:  # pragma: no cover - defensive
+                raise NetworkError("active flows traverse no loaded link")
+            threshold = share * (1 + _EPS)
+            fixed = unassigned & has_cap & (cap_f <= threshold)
+            if bool(fixed.any()):
+                np.multiply(cap_f, weight_f, out=rates, where=fixed)
+            else:
+                hit = np.zeros(nf, dtype=bool)
+                hit[inc_flow_a[(ratio <= threshold)[inc_link_a]]] = True
+                fixed = unassigned & hit
+                if not bool(fixed.any()):  # pragma: no cover - defensive
+                    raise NetworkError(
+                        "water-filling round fixed no flow; the fair "
+                        "share is inconsistent with every link"
+                    )
+                per_stream = share if share > 0.0 else 0.0
+                np.multiply(per_stream, weight_f, out=rates, where=fixed)
+            member_fixed = fixed[inc_flow_a]
+            sub_links = inc_link_a[member_fixed]
+            sub_flows = inc_flow_a[member_fixed]
+            np.subtract.at(residual, sub_links, rates[sub_flows])
+            np.maximum(residual, 0.0, out=residual)
+            np.subtract.at(load, sub_links, weight_f[sub_flows])
+            unassigned &= ~fixed
+
+        table = self._table
+        slots = np.array([flow._slot for flow in component], dtype=np.intp)
+        table.rate[slots] = rates
+        finish = np.full(nf, math.inf)
+        np.divide(table.remaining[slots], rates, out=finish,
+                  where=rates > 0.0)
+        table.finish[slots] = finish
+
     @staticmethod
     def _fix_rate(flow: Flow, per_stream_rate: float,
                   unassigned: dict[Flow, None],
@@ -534,107 +1147,139 @@ class FluidNetwork:
             residual[link] = left if left > 0.0 else 0.0
             load[link] -= flow.weight
 
+    def _retire_flow(self, flow: Flow) -> None:
+        """Remove one entity from the flow set, links and table.
+
+        A retiring group leaves its channel's claim in place: the
+        steady-state relaunch next step reuses it for O(1) validation,
+        and an idle claim is evicted lazily by the first foreign touch.
+        """
+        self.flows.pop(flow, None)
+        self._table.free(flow._slot)
+        dirty = self._dirty_links
+        weight = flow.weight
+        for link in flow.links:
+            link.flows.pop(flow, None)
+            link.load -= weight
+            dirty[link] = None
+        if isinstance(flow, GroupFlow):
+            channel = flow._channel
+            if channel is not None:
+                channel.groups.pop(flow, None)
+
     def _complete_finished(self) -> None:
         """Fire completion events for flows that have fully drained.
 
         A flow can only cross the completion threshold inside
         :meth:`_advance_progress` (or arrive already sub-threshold), and
         both paths raise ``_maybe_finished`` — so when the flag is down
-        the full-flow-set scan is skipped entirely.
+        the table scan is skipped entirely.  The scan itself is one
+        vector compare; ascending slot order is creation order, matching
+        the flow-dict iteration the scalar engine performed.
         """
         if not self._maybe_finished:
             return
         self._maybe_finished = False
-        finished = [f for f in self.flows if f.remaining_bits <= _COMPLETE_BITS]
-        if not finished:
+        table = self._table
+        n = table.size
+        finished = np.nonzero(
+            (table.remaining[:n] <= _COMPLETE_BITS) & table.live[:n])[0]
+        if finished.size == 0:
             return
-        dirty = self._dirty_links
-        for flow in finished:
-            self.flows.pop(flow, None)
-            for link in flow.links:
-                link.flows.pop(flow, None)
-                link.load -= flow.weight
-                dirty[link] = None
-            duration = self.sim.now - flow.started_at
+        flows_done = [table.flow_by_slot[slot] for slot in finished]
+        now = self.sim.now
+        for flow in flows_done:
+            flow = t.cast(Flow, flow)
+            self._retire_flow(flow)
+            duration = now - flow.started_at
             tail = flow.tail_latency_s
             if self.obs is not None:
                 self._record_flow(flow, duration)
-            self.sim._schedule_at(self.sim.now + tail, flow.done, duration + tail)
+            self.sim._schedule_at(now + tail, flow.done, duration + tail)
 
     def _record_flow(self, flow: Flow, duration: float) -> None:
-        """Record one completed flow's telemetry (obs attached only)."""
-        bottleneck = min(flow.links, key=lambda link: link.capacity_bps)
-        rate = flow.size_bits / duration if duration > 0 \
-            else bottleneck.capacity_bps
-        utilisation = min(1.0, rate / bottleneck.capacity_bps)
-        # A flow is *throttled* when its per-stream achieved rate landed
-        # below half its per-stream cap: the fabric, not the endpoint,
-        # was the limiter.  The depth threshold separates pathology from
-        # healthy multi-stream NIC saturation — N concurrent streams
-        # fair-sharing their own NIC sit shallowly below cap by design
-        # (that is the multi-stream point), while an oversubscribed
-        # shared spine cuts each stream to a fraction of it.
-        throttled = (flow.rate_cap_bps is not None and duration > 0
-                     and rate / flow.weight
-                     < flow.rate_cap_bps * THROTTLE_DEPTH)
-        if self.diag is not None:
-            self.diag.observe_flow(
-                [link.name for link in flow.links], flow.label,
-                flow.size_bits / 8.0, duration, throttled)
+        """Record one completed entity's telemetry (obs attached only).
+
+        Bundled groups are unrolled: one record per member, each against
+        its own links and bottleneck, so per-link counters, spans and
+        diagnosis state are identical whether or not the fan-out was
+        bundled (the bundled-diagnosis equivalence tests pin this).
+        """
         obs = self.obs
         from repro.obs.timeline import NETWORK_RANK
 
-        span_meta: dict[str, object] = dict(
-            lane=bottleneck.name, bytes=flow.size_bits / 8.0,
-            rate_bps=rate, utilisation=utilisation,
-            capped=flow.rate_cap_bps is not None, throttled=throttled)
-        metric_labels: dict[str, str] = {"link": bottleneck.name}
-        if flow.label is not None:
-            span_meta["algorithm"] = flow.label
-            metric_labels["algorithm"] = flow.label
-        obs.timeline.span(
-            "flow", "net", NETWORK_RANK, flow.started_at, self.sim.now,
-            **span_meta)
-        registry = obs.registry
-        registry.counter(
-            "network_flows_total",
-            "Completed flows per bottleneck link").inc(**metric_labels)
-        registry.counter(
-            "network_bytes_total",
-            "Bytes delivered per bottleneck link").inc(
-                flow.size_bits / 8.0, **metric_labels)
-        registry.histogram(
-            "network_flow_utilisation",
-            "Per-flow achieved rate over bottleneck link capacity",
-            buckets=(0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9, 1.0)).observe(
-                utilisation, link=bottleneck.name)
+        for links in flow.member_link_sets():
+            bottleneck = min(links, key=lambda link: link.capacity_bps)
+            rate = flow.size_bits / duration if duration > 0 \
+                else bottleneck.capacity_bps
+            utilisation = min(1.0, rate / bottleneck.capacity_bps)
+            # A flow is *throttled* when its per-stream achieved rate
+            # landed below half its per-stream cap: the fabric, not the
+            # endpoint, was the limiter.  The depth threshold separates
+            # pathology from healthy multi-stream NIC saturation — N
+            # concurrent streams fair-sharing their own NIC sit
+            # shallowly below cap by design (that is the multi-stream
+            # point), while an oversubscribed shared spine cuts each
+            # stream to a fraction of it.
+            throttled = (flow.rate_cap_bps is not None and duration > 0
+                         and rate / flow.weight
+                         < flow.rate_cap_bps * THROTTLE_DEPTH)
+            if self.diag is not None:
+                self.diag.observe_flow(
+                    [link.name for link in links], flow.label,
+                    flow.size_bits / 8.0, duration, throttled)
+            span_meta: dict[str, object] = dict(
+                lane=bottleneck.name, bytes=flow.size_bits / 8.0,
+                rate_bps=rate, utilisation=utilisation,
+                capped=flow.rate_cap_bps is not None, throttled=throttled)
+            metric_labels: dict[str, str] = {"link": bottleneck.name}
+            if flow.label is not None:
+                span_meta["algorithm"] = flow.label
+                metric_labels["algorithm"] = flow.label
+            obs.timeline.span(
+                "flow", "net", NETWORK_RANK, flow.started_at, self.sim.now,
+                **span_meta)
+            registry = obs.registry
+            registry.counter(
+                "network_flows_total",
+                "Completed flows per bottleneck link").inc(**metric_labels)
+            registry.counter(
+                "network_bytes_total",
+                "Bytes delivered per bottleneck link").inc(
+                    flow.size_bits / 8.0, **metric_labels)
+            registry.histogram(
+                "network_flow_utilisation",
+                "Per-flow achieved rate over bottleneck link capacity",
+                buckets=(0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9, 1.0)).observe(
+                    utilisation, link=bottleneck.name)
 
     def _schedule_wakeup(self) -> None:
-        """Schedule a kernel event at the earliest next flow completion."""
+        """Schedule a kernel event at the earliest next flow completion.
+
+        The next completion is one vector min over the cached
+        seconds-to-completion column (dead slots hold ``inf``).  Wakeup
+        events are recycled through the kernel's event pool; the cast to
+        a Python float keeps numpy scalars out of the kernel heap (their
+        ``repr`` differs, which would corrupt replay digests).
+        """
         self._wakeup_token += 1
         token = self._wakeup_token
-        next_finish = math.inf
-        for flow in self.flows:
-            finish = flow._finish_s
-            if finish < next_finish:
-                next_finish = finish
-        if next_finish is math.inf:
+        table = self._table
+        n = table.size
+        next_finish = math.inf if n == 0 else float(table.finish[:n].min())
+        if next_finish == math.inf:
             if self.flows:
                 raise NetworkError(
                     "active flows exist but none can make progress "
                     "(all rates are zero)"
                 )
             return
-        if self._wakeup_pool:
-            wakeup = self._wakeup_pool.pop()
-            wakeup._reset_for_reuse()
-        else:
-            wakeup = self.sim.event(name="network.wakeup")
+        wakeup = self.sim.pooled_event("network.wakeup")
         wakeup.add_callback(lambda ev: self._on_wakeup(token, ev))
         self.sim._schedule_at(self.sim.now + next_finish, wakeup, None)
 
     def _on_wakeup(self, token: int, wakeup: Event) -> None:
-        self._wakeup_pool.append(wakeup)
+        self.sim.release_event(wakeup)
         if token != self._wakeup_token:
             return  # a newer allocation superseded this wakeup
         self._advance_progress()

@@ -1,0 +1,116 @@
+"""Bundled fan-outs must diagnose identically to unbundled ones.
+
+The vectorized hot state lets the fluid network fuse a homogeneous ring
+fan-out into one :class:`~repro.sim.network.GroupFlow` solver entity.
+That fusion is a performance representation only: the observability
+layer unrolls groups member by member (``member_link_sets``), so every
+per-link utilisation integral, flow record and therefore every
+diagnosis finding — including the ``findings_digest`` the golden
+findings file pins — must be bit-identical whether the fan-out ran
+bundled or as individual flows.
+"""
+
+import repro.collectives.timed as timed_mod
+from repro.collectives import TimedCollectives
+from repro.obs import Observability, diagnose
+from repro.sim import FluidNetwork, Link, Simulator, alibaba_v100_cluster
+
+
+def _feed_engine_hooks(suite):
+    """Identical engine-side telemetry for both runs.
+
+    Two ranks, two steps each, and a lopsided stream split on rank 0 so
+    the stream-imbalance detector has something to say; the network
+    feeds the congestion detector itself.
+    """
+    for rank in (0, 1):
+        suite.observe_step(rank, 0, 1.0, 1.0)
+        suite.observe_step(rank, 1, 1.0, 2.0)
+    suite.observe_stream_span(0, 0, 0.9, 8e6)
+    suite.observe_stream_span(0, 1, 0.001, 1e3)
+    suite.observe_stream_span(1, 0, 0.45, 4e6)
+    suite.observe_stream_span(1, 1, 0.45, 4e6)
+
+
+def _run_network_scenario(bundled):
+    """One saturated 3-member fan-out, bundled or member-by-member.
+
+    Each member crosses two private 1 Gb/s links with a 4 Gb/s rate cap,
+    so every member finishes saturated (utilisation 1.0 the whole time)
+    and throttled (achieved rate far below cap) — the congestion
+    detector fires for all six links.
+    """
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    obs = Observability()
+    net.obs = obs
+    net.diag = obs.attach_detectors()
+    members = [[Link(f"m{i}a", 1e9), Link(f"m{i}b", 1e9)]
+               for i in range(3)]
+    net.flow_label = "ring"
+    if bundled:
+        done = [net.start_flow_group(members, 1e6, rate_cap_bps=4e9)]
+    else:
+        done = [net.start_flow(member, 1e6, rate_cap_bps=4e9)
+                for member in members]
+    net.flow_label = None
+    sim.run(until=sim.all_of(done))
+    sim.run()
+    if bundled:  # the fan-out really was fused, not fallen back
+        assert net._claims
+    else:
+        assert not net._claims
+    _feed_engine_hooks(net.diag)
+    return diagnose(obs)
+
+
+class TestNetworkLevelEquivalence:
+    def test_findings_digest_identical_bundled_or_not(self):
+        bundled = _run_network_scenario(bundled=True)
+        unbundled = _run_network_scenario(bundled=False)
+        assert bundled.findings == unbundled.findings
+        assert bundled.events == unbundled.events
+        assert bundled.findings_digest == unbundled.findings_digest
+
+    def test_scenario_is_not_vacuous(self):
+        report = _run_network_scenario(bundled=True)
+        kinds = {finding.kind for finding in report.findings}
+        assert "congestion" in kinds
+        assert "stream-imbalance" in kinds
+        congested = {f.subject for f in report.findings
+                     if f.kind == "congestion"}
+        assert congested == {f"link m{i}{side}"
+                             for i in range(3) for side in "ab"}
+
+
+class TestCollectiveLevelEquivalence:
+    """Same ring allreduce, with the bundling gate forced on and off."""
+
+    def _run(self, monkeypatch, bundle_min_nodes):
+        monkeypatch.setattr(timed_mod, "AGGREGATE_MIN_FLOWS", 2)
+        monkeypatch.setattr(timed_mod, "RING_BUNDLE_MIN_NODES",
+                            bundle_min_nodes)
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        obs = Observability()
+        net.obs = obs
+        net.diag = obs.attach_detectors()
+        cluster = alibaba_v100_cluster(sim, 128, gpus_per_node=8)
+        timed = TimedCollectives(sim, net, cluster, representative=False)
+        done = timed.allreduce(4e6, algorithm="ring")
+        sim.run(until=done)
+        sim.run()
+        return sim.now, bool(net._claims), diagnose(obs)
+
+    def test_full_ring_diagnoses_identically(self, monkeypatch):
+        now_b, claimed_b, bundled = self._run(monkeypatch, 2)
+        now_u, claimed_u, unbundled = self._run(monkeypatch, 10**9)
+        assert claimed_b and not claimed_u  # the gate actually flipped
+        assert now_b == now_u  # completion time is representation-free
+        assert bundled.findings == unbundled.findings
+        assert bundled.events == unbundled.events
+        assert bundled.findings_digest == unbundled.findings_digest
+        # A healthy, balanced ring must stay finding-free in both
+        # representations (the clean-run gate the detector thresholds
+        # are calibrated against).
+        assert bundled.findings == ()

@@ -43,6 +43,9 @@ class FakeFlow:
         self.rate_bps = rate_bps
         self.links = links
 
+    def member_link_sets(self):
+        return (self.links,)
+
 
 class TestSeverity:
     def test_parse_is_case_insensitive(self):

@@ -23,6 +23,7 @@ Invariants checked over randomly generated flow/link configurations:
    the same time as ``k`` parallel identical flows of size ``S/k``.
 """
 
+import contextlib
 import math
 
 import numpy as np
@@ -30,8 +31,26 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.sim.network as network_mod
 from repro.sim import FluidNetwork, Link, Simulator
-from repro.sim.network import solve_rates_reference
+from repro.sim.network import GroupFlow, solve_rates_reference
+
+
+@contextlib.contextmanager
+def vector_threshold(value):
+    """Temporarily override the vector-solver component-size gate.
+
+    Forcing it to 2 routes even tiny components through
+    ``_solve_component_vector``, so the differential tests exercise the
+    array water-fill on every randomly generated component shape instead
+    of only on >= 24-flow ones.
+    """
+    previous = network_mod.VECTOR_SOLVE_MIN_FLOWS
+    network_mod.VECTOR_SOLVE_MIN_FLOWS = value
+    try:
+        yield
+    finally:
+        network_mod.VECTOR_SOLVE_MIN_FLOWS = previous
 
 
 @st.composite
@@ -337,3 +356,229 @@ class TestIncrementalSolverEquivalence:
         sim_b.run(until=sim_b.all_of(done_b))
 
         assert sim_a.now == pytest.approx(sim_b.now, rel=1e-9)
+
+
+class TestVectorSolverDifferential:
+    """The array water-fill must match both the oracle and the scalar loop.
+
+    ``_solve_component_vector`` claims bit-identical float operations to
+    the scalar dict loop; these tests force the vector path onto every
+    randomly generated component (see :func:`vector_threshold`) and
+    check it (a) against the from-scratch oracle at audited instants and
+    (b) bit-for-bit against a scalar-path run of the same scenario.
+    """
+
+    REL_TOL = 1e-7
+
+    @settings(max_examples=50, deadline=None)
+    @given(scenario=weighted_scenarios())
+    def test_forced_vector_rates_match_oracle(self, scenario):
+        capacities, flow_specs = scenario
+        with vector_threshold(2):
+            sim = Simulator()
+            net = FluidNetwork(sim)
+            links = [Link(f"l{i}", capacity)
+                     for i, capacity in enumerate(capacities)]
+
+            def starter(spec):
+                link_ids, size, cap, weight, start = spec
+
+                def process():
+                    yield sim.timeout(start)
+                    yield net.start_flow([links[i] for i in link_ids], size,
+                                         rate_cap_bps=cap, weight=weight)
+
+                return process()
+
+            processes = [sim.spawn(starter(spec)) for spec in flow_specs]
+            mismatches = []
+
+            def audit():
+                while True:
+                    reference = solve_rates_reference(net.flows)
+                    for flow, want in reference.items():
+                        if not math.isclose(flow.rate_bps, want,
+                                            rel_tol=self.REL_TOL,
+                                            abs_tol=1e-3):
+                            mismatches.append(
+                                (flow.flow_id, flow.rate_bps, want))
+                    yield sim.timeout(0.004)
+
+            sim.spawn(audit())
+            sim.run(until=sim.all_of(processes))
+        assert not mismatches
+
+    @settings(max_examples=50, deadline=None)
+    @given(scenario=weighted_scenarios())
+    def test_vector_and_scalar_paths_bit_identical(self, scenario):
+        capacities, flow_specs = scenario
+
+        def run(threshold):
+            with vector_threshold(threshold):
+                sim = Simulator()
+                net = FluidNetwork(sim)
+                links = [Link(f"l{i}", capacity)
+                         for i, capacity in enumerate(capacities)]
+
+                def starter(spec):
+                    link_ids, size, cap, weight, start = spec
+
+                    def process():
+                        yield sim.timeout(start)
+                        done = net.start_flow(
+                            [links[i] for i in link_ids], size,
+                            rate_cap_bps=cap, weight=weight)
+                        yield done
+                        results.append(done.value)
+
+                    return process()
+
+                results: list[float] = []
+                processes = [sim.spawn(starter(spec))
+                             for spec in flow_specs]
+                sim.run(until=sim.all_of(processes))
+                return results, sim.now
+
+        vector = run(threshold=2)
+        scalar = run(threshold=10**9)
+        assert vector == scalar  # bit-identical durations and end time
+
+
+@st.composite
+def bundle_scenarios(draw):
+    """Symmetric fan-outs with an optional mid-flight foreign arrival."""
+    members = draw(st.integers(2, 8))
+    capacity = draw(st.floats(1e8, 1e10))
+    size = draw(st.floats(1e4, 1e7))
+    capped = draw(st.booleans())
+    cap = draw(st.floats(1e7, 2e9)) if capped else None
+    foreign_member = draw(st.integers(0, members - 1))
+    foreign_size = draw(st.floats(1e4, 1e7))
+    # As a fraction of the bundle's ideal solo duration, so the arrival
+    # reliably lands mid-flight (including right at the start).
+    foreign_at_frac = draw(st.floats(0.0, 0.9))
+    return members, capacity, size, cap, foreign_member, foreign_size, \
+        foreign_at_frac
+
+
+class TestBundleBoundaries:
+    """Bundled fan-outs must be timing-transparent across split/merge.
+
+    A :class:`GroupFlow` is an exactness-preserving compression of its
+    per-member flows; these properties drive it through the boundary
+    cases — a foreign arrival mid-flight (split), relaunch after the
+    split (merge back into a bundle), and the degenerate shapes — and
+    compare against the per-member ground truth.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=bundle_scenarios())
+    def test_split_by_foreign_arrival_matches_unbundled(self, scenario):
+        members, capacity, size, cap, foreign_member, foreign_size, \
+            frac = scenario
+        solo = size * 8.0 / capacity
+        foreign_at = solo * frac
+
+        def run(bundled):
+            sim = Simulator()
+            net = FluidNetwork(sim)
+            links = [Link(f"l{i}", capacity) for i in range(members)]
+            if bundled:
+                done = [net.start_flow_group([[link] for link in links],
+                                             size, rate_cap_bps=cap)]
+            else:
+                done = net.start_flows(
+                    [([link], size, cap, 1) for link in links])
+
+            def foreign():
+                yield sim.timeout(foreign_at)
+                yield net.start_flow([links[foreign_member]], foreign_size)
+
+            intruder = sim.spawn(foreign())
+            sim.run(until=sim.all_of(done + [intruder]))
+            assert all(event.triggered for event in done)
+            return sim.now
+
+        assert run(bundled=True) == pytest.approx(run(bundled=False),
+                                                  rel=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        members=st.integers(2, 6),
+        capacity=st.floats(1e8, 1e10),
+        size=st.floats(1e4, 1e6),
+    )
+    def test_relaunch_after_split_bundles_again(self, members, capacity,
+                                                size):
+        # A capacity change splits the bundle; once it drains, the same
+        # fan-out must re-enter the solver as a single bundled entity
+        # (the claim channel re-registers against the new capacities).
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        links = [Link(f"l{i}", capacity) for i in range(members)]
+        fanout = [[link] for link in links]
+        first = net.start_flow_group(fanout, size)
+        assert sum(isinstance(f, GroupFlow) for f in net.flows) == 1
+        net.set_link_capacity(links[0], capacity / 2)
+        assert sum(isinstance(f, GroupFlow) for f in net.flows) == 0
+        assert len(net.flows) == members  # split into per-member flows
+        sim.run(until=first)
+        second = net.start_flow_group(fanout, size)
+        assert sum(isinstance(f, GroupFlow) for f in net.flows) == 0
+        sim.run(until=second)  # degraded member: unbundleable, but exact
+        healed = net.start_flow_group(fanout, size)
+        net.set_link_capacity(links[0], capacity)  # splits again
+        sim.run(until=healed)
+        relaunch = net.start_flow_group(fanout, size)
+        assert sum(isinstance(f, GroupFlow) for f in net.flows) == 1
+        sim.run(until=relaunch)
+        assert relaunch.triggered
+
+    def test_zero_byte_group_is_pure_latency(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        links = [Link(f"l{i}", 1e9, latency_s=0.25) for i in range(4)]
+        done = net.start_flow_group([[link] for link in links], 0.0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(0.25)
+        assert not net.flows
+
+    def test_single_member_group_is_plain_flow(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        link = Link("l", 8e9)
+        done = net.start_flow_group([[link]], 1e9)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        members=st.integers(2, 8),
+        capacity=st.floats(1e8, 1e10),
+        size=st.floats(1e4, 1e7),
+        capped=st.booleans(),
+    )
+    def test_undisturbed_bundle_matches_unbundled(self, members, capacity,
+                                                  size, capped):
+        cap = capacity / 3 if capped else None
+
+        def run(bundled):
+            sim = Simulator()
+            net = FluidNetwork(sim)
+            links = [Link(f"l{i}", capacity) for i in range(members)]
+            if bundled:
+                done = [net.start_flow_group([[link] for link in links],
+                                             size, rate_cap_bps=cap)]
+                assert sum(isinstance(f, GroupFlow)
+                           for f in net.flows) == 1
+            else:
+                done = net.start_flows(
+                    [([link], size, cap, 1) for link in links])
+            sim.run(until=sim.all_of(done))
+            delivered = net.bits_delivered
+            return sim.now, delivered
+
+        now_b, bits_b = run(bundled=True)
+        now_u, bits_u = run(bundled=False)
+        assert now_b == pytest.approx(now_u, rel=1e-9)
+        assert bits_b == pytest.approx(bits_u, rel=1e-9)
