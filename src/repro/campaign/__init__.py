@@ -19,8 +19,9 @@ package makes campaign execution a fault-tolerant subsystem:
 * :mod:`repro.campaign.runner` fans cells out across a process pool,
   reclaims expired leases, and survives ``kill -9`` of workers or the
   orchestrator itself (``python -m repro campaign resume``);
-* :mod:`repro.campaign.report` renders the durable results and computes
-  the resume-invariant report digest.
+* :mod:`repro.campaign.report` renders the durable results, computes
+  the resume-invariant report digest, and diffs two stores cell by cell
+  (``python -m repro campaign diff``).
 
 Driven by ``python -m repro campaign`` (submit/run/status/resume/report).
 """
@@ -32,7 +33,12 @@ from repro.campaign.grid import (
     named_grids,
 )
 from repro.campaign.policy import RetryPolicy
-from repro.campaign.report import CampaignReport, load_report
+from repro.campaign.report import (
+    CampaignReport,
+    CellDiff,
+    diff_reports,
+    load_report,
+)
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import STATES, CampaignStore, RunRow
 
@@ -41,10 +47,12 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "CampaignStore",
+    "CellDiff",
     "RetryPolicy",
     "RunRow",
     "RunSpec",
     "STATES",
+    "diff_reports",
     "expand_grids",
     "load_report",
     "named_grids",

@@ -140,6 +140,62 @@ def load_report_from_path(path: str | pathlib.Path,
         raise ReportInputError(str(exc)) from exc
 
 
+@dataclasses.dataclass(frozen=True)
+class CellDiff:
+    """One divergent cell between two campaign reports."""
+
+    spec_id: str
+    #: ``missing`` (cell absent on one side), ``state``, ``result`` or
+    #: ``error_class`` — the first field that differs.
+    field: str
+    a: object
+    b: object
+
+    def render(self) -> str:
+        return f"{self.spec_id}: {self.field} differs " \
+               f"({self.a!r} vs {self.b!r})"
+
+
+def diff_reports(a: CampaignReport, b: CampaignReport) -> list[CellDiff]:
+    """Cell-by-cell comparison of two campaigns' terminal outcomes.
+
+    Compares exactly what :meth:`CampaignReport.digest` hashes — state,
+    ``done`` result payload, failed/quarantined error class — so two
+    reports diff clean if and only if their digests match.  Returns the
+    divergent cells sorted by spec id (empty when identical).
+    """
+    def payload(report: CampaignReport) -> dict[str, dict]:
+        return {
+            row.spec_id: {
+                "state": row.state,
+                "result": row.result if row.state == "done" else None,
+                "error_class": (row.error_class
+                                if row.state in ("failed", "quarantined")
+                                else None),
+            }
+            for row in report.rows
+        }
+
+    cells_a, cells_b = payload(a), payload(b)
+    diffs: list[CellDiff] = []
+    for spec_id in sorted(set(cells_a) | set(cells_b)):
+        if spec_id not in cells_a:
+            diffs.append(CellDiff(spec_id, "missing", None,
+                                  cells_b[spec_id]["state"]))
+            continue
+        if spec_id not in cells_b:
+            diffs.append(CellDiff(spec_id, "missing",
+                                  cells_a[spec_id]["state"], None))
+            continue
+        cell_a, cell_b = cells_a[spec_id], cells_b[spec_id]
+        for field in ("state", "result", "error_class"):
+            if cell_a[field] != cell_b[field]:
+                diffs.append(CellDiff(spec_id, field, cell_a[field],
+                                      cell_b[field]))
+                break
+    return diffs
+
+
 def render_report(report: CampaignReport) -> str:
     """Markdown rendering: summary, per-figure tables, digest."""
     from repro.harness.report import format_table

@@ -30,8 +30,16 @@ Commands
     Crash-safe experiment campaigns over a durable SQLite results
     store: ``submit`` a parameter grid, ``run`` it across a process
     pool, ``status`` it, ``resume`` an interrupted campaign (workers or
-    the orchestrator may be killed at any instant), and ``report`` the
-    recorded results with a resume-invariant digest.
+    the orchestrator may be killed at any instant), ``report`` the
+    recorded results with a resume-invariant digest, and ``diff`` two
+    stores cell by cell (non-zero exit on divergence).
+``cluster``
+    Multi-tenant shared fabric: run the committed 3-job contention
+    scenario with admission control, job-tagged flows, per-job SLO
+    sentinels and the staged degradation ladder; ``--check-isolation``
+    verifies chaos on one tenant leaves the neighbors' numeric digests
+    bit-identical, ``--check-replay`` verifies determinism, and
+    ``--expect-digest`` pins the cluster digest (CI golden).
 ``diagnose``
     Self-diagnosing runtime: run the benchmark baseline scenario under
     streaming detectors, emit typed findings (markdown/JSONL/Perfetto
@@ -242,6 +250,38 @@ def build_parser() -> argparse.ArgumentParser:
     creport.add_argument("--out", type=pathlib.Path, default=None,
                          help="also write summary.md / runs.jsonl / "
                          "metrics.prom here")
+
+    cdiff = campaign_sub.add_parser(
+        "diff", help="cell-by-cell comparison of two campaign stores "
+        "(exit 1 on divergence)")
+    cdiff.add_argument("store_a", type=pathlib.Path,
+                       help="first campaign store")
+    cdiff.add_argument("store_b", type=pathlib.Path,
+                       help="second campaign store")
+    cdiff.add_argument("--id-a", type=int, default=None,
+                       help="campaign id inside store_a (default: latest)")
+    cdiff.add_argument("--id-b", type=int, default=None,
+                       help="campaign id inside store_b (default: latest)")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-tenant shared-fabric run: admission control, "
+        "per-job SLOs, graceful degradation, isolation")
+    cluster.add_argument("--no-chaos", action="store_true",
+                         help="run the 3-job scenario without chaos on "
+                         "tenant A")
+    cluster.add_argument("--check-isolation", action="store_true",
+                         help="run with and without chaos and verify the "
+                         "neighbors' numeric digests are bit-identical "
+                         "(exit 1 on violation)")
+    cluster.add_argument("--check-replay", action="store_true",
+                         help="run the schedule twice and verify the "
+                         "cluster digests match (exit 1 on divergence)")
+    cluster.add_argument("--expect-digest", default=None, metavar="HEX",
+                         help="fail (exit 1) unless the cluster digest "
+                         "matches this pinned value")
+    cluster.add_argument("--json", type=pathlib.Path, default=None,
+                         help="also write the full result as JSON here")
 
     diagnose = sub.add_parser(
         "diagnose",
@@ -686,10 +726,88 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print("no campaigns recorded")
         return 0
 
+    if args.campaign_command == "diff":
+        from repro.campaign.report import diff_reports
+
+        report_a = load_report_from_path(args.store_a, args.id_a)
+        report_b = load_report_from_path(args.store_b, args.id_b)
+        diffs = diff_reports(report_a, report_b)
+        print(f"A: campaign {report_a.campaign_id} ({report_a.name}), "
+              f"digest {report_a.digest()}")
+        print(f"B: campaign {report_b.campaign_id} ({report_b.name}), "
+              f"digest {report_b.digest()}")
+        if not diffs:
+            print("stores agree: every cell's terminal outcome matches")
+            return 0
+        print(f"{len(diffs)} divergent cell(s):")
+        for diff in diffs:
+            print(f"  {diff.render()}")
+        return 1
+
     assert args.campaign_command == "report"
     report = load_report_from_path(args.store, args.id)
     _print_campaign_report(report, args.out)
     return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import three_job_scenario
+    from repro.harness import format_table
+    from repro.ioutil import atomic_write_text
+
+    def run(chaos: bool) -> t.Any:
+        return three_job_scenario(chaos=chaos).run()
+
+    result = run(chaos=not args.no_chaos)
+    rows = []
+    for job_id, rec in result.jobs.items():
+        rows.append({
+            "job": job_id, "status": rec["status"],
+            "steps": rec["steps_done"], "streams": rec["streams"],
+            "ladder": rec["ladder_stage"],
+            "transitions": ",".join(
+                str(tr["kind"]) for tr in
+                t.cast(list, rec["transitions"])) or "-",
+            "digest": (rec["numeric_digest"] or "-")[:12],
+        })
+    print(format_table(rows, title="tenants"))
+    print()
+    if result.findings:
+        print(f"{len(result.findings)} finding(s):")
+        for finding in result.findings:
+            print(f"  [{finding.severity.name}] {finding.kind} "
+                  f"{finding.subject}: {finding.message}")
+    else:
+        print("no findings: every tenant inside its SLO")
+    print(f"findings digest: {result.findings_digest}")
+    print(f"cluster digest:  {result.cluster_digest}")
+    if args.json is not None:
+        atomic_write_text(args.json, result.to_json())
+        print(f"wrote {args.json}")
+    failed = False
+    if args.check_replay:
+        replay = run(chaos=not args.no_chaos)
+        if replay.cluster_digest == result.cluster_digest:
+            print("replay check: digests match")
+        else:
+            print(f"replay check FAILED: {replay.cluster_digest} != "
+                  f"{result.cluster_digest}", file=sys.stderr)
+            failed = True
+    if args.check_isolation:
+        quiet = run(chaos=False)
+        for job_id in sorted(result.jobs):
+            with_chaos = result.job_digest(job_id)
+            without = quiet.job_digest(job_id)
+            verdict = "identical" if with_chaos == without else "DIVERGED"
+            print(f"isolation {job_id}: {verdict}")
+            if with_chaos != without:
+                failed = True
+    if args.expect_digest is not None \
+            and result.cluster_digest != args.expect_digest:
+        print(f"cluster digest {result.cluster_digest} does not match "
+              f"expected {args.expect_digest}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -984,6 +1102,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "chaos": cmd_chaos,
         "report": cmd_report,
         "campaign": cmd_campaign,
+        "cluster": cmd_cluster,
         "diagnose": cmd_diagnose,
     }
     try:

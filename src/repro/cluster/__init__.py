@@ -1,0 +1,46 @@
+"""Multi-tenant shared-fabric runtime (admission, isolation, SLA).
+
+Public surface of the cluster subsystem::
+
+    from repro.cluster import (
+        ClusterConfig, ClusterResult, ClusterRuntime,
+        JobSpec, JobState, NumericTrainer,
+        PlacementScheduler, SharedFabric, three_job_scenario,
+    )
+
+See ``docs/cluster.md`` for the scheduler, the degradation ladder and
+the isolation contract.
+"""
+
+from repro.cluster.fabric import SharedFabric
+from repro.cluster.jobs import JOB_STATES, JobSpec, JobState, NumericTrainer
+from repro.cluster.runtime import (
+    ClusterConfig,
+    ClusterResult,
+    ClusterRuntime,
+    three_job_scenario,
+)
+from repro.cluster.scheduler import (
+    BACKOFF_BASE_S,
+    BACKOFF_CAP_S,
+    Placement,
+    PlacementScheduler,
+    backoff_delay_s,
+)
+
+__all__ = [
+    "BACKOFF_BASE_S",
+    "BACKOFF_CAP_S",
+    "JOB_STATES",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterRuntime",
+    "JobSpec",
+    "JobState",
+    "NumericTrainer",
+    "Placement",
+    "PlacementScheduler",
+    "SharedFabric",
+    "backoff_delay_s",
+    "three_job_scenario",
+]

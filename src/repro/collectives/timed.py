@@ -127,6 +127,10 @@ class TimedCollectives:
         self.network = network
         self.cluster = cluster
         self.trace = trace or Trace(enabled=False)
+        #: Tenant identity stamped on every launched flow (the cluster
+        #: runtime sets it so shared-fabric fairness and telemetry can
+        #: attribute traffic per job; ``None`` = single-job semantics).
+        self.job: str | None = None
         #: Observability sink for collective telemetry.
         self.obs = obs or Observability.disabled()
         registry = self.obs.registry
@@ -376,8 +380,11 @@ class TimedCollectives:
         """
         network = self.network
         previous = network.flow_label
+        previous_job = network.flow_job
         if label is not None:
             network.flow_label = label
+        if self.job is not None:
+            network.flow_job = self.job
         try:
             if len(specs) >= AGGREGATE_MIN_FLOWS:
                 runs = self._uniform_runs(specs)
@@ -392,6 +399,7 @@ class TimedCollectives:
                     for links, size_bytes, cap, weight in specs]
         finally:
             network.flow_label = previous
+            network.flow_job = previous_job
 
     @staticmethod
     def _uniform_runs(specs: t.Sequence[tuple[t.Sequence[Link], float,
@@ -487,7 +495,10 @@ class TimedCollectives:
         """
         network = self.network
         previous = network.flow_label
+        previous_job = network.flow_job
         network.flow_label = label
+        if self.job is not None:
+            network.flow_job = self.job
         try:
             if plan.mode == "bundle":
                 assert plan.entries is not None
@@ -510,6 +521,7 @@ class TimedCollectives:
                     for links, base, weight in plan.specs]
         finally:
             network.flow_label = previous
+            network.flow_job = previous_job
 
     def _slowest_stream_cap_bps(self, hops: t.Sequence[tuple[int, t.Any]],
                                 cap_scale: float) -> float:

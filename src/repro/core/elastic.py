@@ -48,8 +48,11 @@ if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.base import ModelSpec
     from repro.sim.topology import Cluster
 
-#: Transition kinds an epoch advance may record.
-TRANSITION_KINDS = ("scale-down", "scale-up", "failure")
+#: Transition kinds an epoch advance may record.  ``preempt`` and
+#: ``resume`` are the cluster overload controller's epoch-boundary
+#: eviction / readmission of a whole tenant (see ``repro.cluster``).
+TRANSITION_KINDS = ("scale-down", "scale-up", "failure",
+                    "preempt", "resume")
 
 
 @dataclasses.dataclass(frozen=True)

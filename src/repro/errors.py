@@ -165,6 +165,32 @@ class TransientWorkerError(ReproError):
     transient error class)."""
 
 
+class ClusterError(ReproError):
+    """The multi-tenant cluster runtime hit an invalid request or state."""
+
+
+class AdmissionRejected(ClusterError):
+    """A job could not be admitted before its queueing deadline.
+
+    Raised by the placement scheduler when the conservative
+    bandwidth/slot estimate still does not fit after the capped-backoff
+    retry budget is exhausted.  Carries the job identity and the last
+    reason the admission check failed so callers can requeue, resize, or
+    surface a typed error.
+    """
+
+    def __init__(self, job_id: str, deadline_s: float,
+                 reason: str, attempts: int) -> None:
+        super().__init__(
+            f"job {job_id!r} rejected after {attempts} admission "
+            f"attempt(s) over {deadline_s:g}s: {reason}"
+        )
+        self.job_id = job_id
+        self.deadline_s = deadline_s
+        self.reason = reason
+        self.attempts = attempts
+
+
 class NaNGradientError(TrainingError):
     """A NaN/Inf value was detected in a gradient tensor.
 

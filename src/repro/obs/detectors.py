@@ -203,6 +203,9 @@ class DetectorSuite:
         self._link_flows: dict[str, list[float]] = {}
         #: ``(link, algorithm) -> bytes`` for per-algorithm attribution.
         self._link_algorithm_bytes: dict[tuple[str, str], float] = {}
+        #: ``(link, job, label) -> bytes`` for per-tenant attribution on
+        #: a shared fabric (populated only for job-tagged flows).
+        self._link_job_bytes: dict[tuple[str, str, str], float] = {}
         self._tuner_warm_cost: float | None = None
         self._tuner_best_cost: float | None = None
         self._tuner_trials = 0
@@ -234,7 +237,7 @@ class DetectorSuite:
 
     def observe_flow(self, link_names: t.Sequence[str],
                      label: str | None, nbytes: float, duration_s: float,
-                     throttled: bool) -> None:
+                     throttled: bool, job: str | None = None) -> None:
         for name in link_names:
             state = self._link_flows.get(name)
             if state is None:
@@ -248,6 +251,10 @@ class DetectorSuite:
             key = (name, label if label is not None else "-")
             self._link_algorithm_bytes[key] = \
                 self._link_algorithm_bytes.get(key, 0.0) + nbytes
+            if job is not None:
+                job_key = (name, job, label if label is not None else "-")
+                self._link_job_bytes[job_key] = \
+                    self._link_job_bytes.get(job_key, 0.0) + nbytes
 
     def observe_tuner_trial(self, index: int, name: str,
                             cost_s: float) -> None:
@@ -258,6 +265,15 @@ class DetectorSuite:
         self._tuner_recent.append(cost_s)
         if self._tuner_best_cost is None or cost_s < self._tuner_best_cost:
             self._tuner_best_cost = cost_s
+
+    def job_link_bytes(self) -> dict[tuple[str, str, str], float]:
+        """``(link, job, label) -> bytes`` for job-tagged flows.
+
+        The cluster runtime's cross-job interference rule reads this to
+        compare each tenant's achieved share of a shared link against
+        its priority-weighted entitlement.
+        """
+        return dict(self._link_job_bytes)
 
     # -- registry round-trip -------------------------------------------------
 
@@ -301,6 +317,12 @@ class DetectorSuite:
             "Bytes per link per placing collective algorithm")
         for (name, algorithm), nbytes in self._link_algorithm_bytes.items():
             algo_bytes.set(nbytes, link=name, algorithm=algorithm)
+        if self._link_job_bytes:
+            job_bytes = registry.gauge(
+                "diag_link_job_bytes",
+                "Bytes per link per owning job (shared-fabric tenancy)")
+            for (name, job, label), nbytes in self._link_job_bytes.items():
+                job_bytes.set(nbytes, link=name, job=job, algorithm=label)
         if self._tuner_warm_cost is not None:
             registry.gauge(
                 "diag_tuner_warm_cost_seconds",
@@ -348,6 +370,9 @@ class DetectorSuite:
         for labels, value in gauge_samples("diag_link_algorithm_bytes"):
             self._link_algorithm_bytes[
                 (labels["link"], labels["algorithm"])] = value
+        for labels, value in gauge_samples("diag_link_job_bytes"):
+            self._link_job_bytes[
+                (labels["link"], labels["job"], labels["algorithm"])] = value
         for _labels, value in gauge_samples("diag_tuner_warm_cost_seconds"):
             self._tuner_warm_cost = value
         for _labels, value in gauge_samples("diag_tuner_best_cost_seconds"):

@@ -46,6 +46,7 @@ _COMPONENT_OF = {
     "congestion": "network",
     "negotiation-overhead": "sync",
     "tuner-regression": "autotune",
+    "interference": "cluster",
 }
 
 #: Fault instants that close a recovery episode.

@@ -119,6 +119,31 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
 )
 
 
+def job_slos(job_id: str, baseline_step_s: float,
+             slack_ratio: float = 1.25) -> tuple[SLO, ...]:
+    """Per-tenant step-time objectives for one job on a shared fabric.
+
+    The cluster overload controller evaluates these against the job's
+    own measurements (keys are namespaced ``job:<id>:...``): the step
+    time of a healthy, uncontended run of the same job anchors the
+    limit, and ``slack_ratio`` is the contention the tenant is expected
+    to absorb before the degradation ladder engages.
+    """
+    if baseline_step_s <= 0:
+        raise ReproError(
+            f"job {job_id!r}: baseline_step_s must be positive")
+    if slack_ratio <= 1.0:
+        raise ReproError(
+            f"job {job_id!r}: slack_ratio must exceed 1.0")
+    return (
+        SLO(name=f"job:{job_id}:step_time",
+            metric=f"job:{job_id}:step_time_s",
+            max_value=baseline_step_s * slack_ratio,
+            description=f"job {job_id} per-step latency within "
+                        f"{slack_ratio:g}x its uncontended baseline"),
+    )
+
+
 def evaluate_slos(slos: t.Sequence[SLO],
                   measurements: t.Mapping[str, float],
                   baseline: "Baseline | None" = None,

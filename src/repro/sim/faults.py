@@ -108,8 +108,8 @@ class BandwidthDegradation(Fault):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if not 0 < self.fraction < 1:
-            raise FaultInjectionError("fraction must be in (0, 1)")
+        if not 0 < self.fraction <= 1:
+            raise FaultInjectionError("fraction must be in (0, 1]")
         if self.duration_s <= 0:
             raise FaultInjectionError("duration_s must be positive")
 
@@ -181,6 +181,10 @@ class FaultPlan:
         * link-level faults (flap/degradation/straggler) targeting an
           identity the schedule never knows about — former members are
           allowed (the fault is a runtime no-op, like today);
+        * overlapping NIC windows (flap/degradation/straggler) on the
+          same node — the injector's capacity save/restore does not
+          nest, so the first window's recovery would silently restore
+          the link out from under the second;
         * any point where the group would drop below one worker.
         """
         self.membership_bounds(cluster.num_nodes)
@@ -198,6 +202,8 @@ class FaultPlan:
         members = set(range(initial_nodes))
         known = set(members)
         minimum = len(members)
+        #: Per-node open NIC window: (end time, fault kind name).
+        busy_until: dict[int, tuple[float, str]] = {}
         for fault in self.faults:
             name = type(fault).__name__
             if isinstance(fault, NodeJoin):
@@ -228,6 +234,21 @@ class FaultPlan:
                         f"{name} targets node {fault.node} but the "
                         f"schedule only ever knows nodes {sorted(known)}"
                     )
+                if isinstance(fault, LinkFlap):
+                    window_s: float | None = fault.down_s
+                elif isinstance(fault, (BandwidthDegradation, Straggler)):
+                    window_s = fault.duration_s
+                else:
+                    window_s = None
+                if window_s is not None:
+                    prior = busy_until.get(fault.node)
+                    if prior is not None and fault.at_s < prior[0]:
+                        raise FaultInjectionError(
+                            f"{name} at t={fault.at_s:g}s overlaps the "
+                            f"{prior[1]} window on node {fault.node}, "
+                            f"which runs until t={prior[0]:g}s"
+                        )
+                    busy_until[fault.node] = (fault.at_s + window_s, name)
         return minimum, len(members)
 
     @property
@@ -250,8 +271,10 @@ class FaultPlan:
         Inter-arrival times are exponential with mean ``mtbf_s``; each
         arrival picks a uniform victim node and a uniform fault kind
         from ``kinds``.  Crashes never target an already-crashed node
-        (the schedule is over distinct victims), so a plan can be
-        checked against the cluster size up front.
+        (the schedule is over distinct victims), and windowed NIC
+        faults never overlap an open window on the same node (the draw
+        is skipped instead), so a plan can be checked against the
+        cluster size up front.
         """
         if mtbf_s <= 0:
             raise FaultInjectionError("mtbf_s must be positive")
@@ -262,6 +285,7 @@ class FaultPlan:
         rng = random.Random(seed)
         faults: list[Fault] = []
         crashed: set[int] = set()
+        busy_until: dict[int, float] = {}
         clock = 0.0
         while True:
             clock += rng.expovariate(1.0 / mtbf_s)
@@ -272,21 +296,30 @@ class FaultPlan:
                 break
             node = rng.choice(candidates)
             kind = kinds[rng.randrange(len(kinds))]
+            if kind in (LinkFlap, BandwidthDegradation, Straggler) \
+                    and clock < busy_until.get(node, 0.0):
+                continue  # node's NIC window is still open; skip draw
             if kind is NodeCrash:
                 crashed.add(node)
                 faults.append(NodeCrash(at_s=clock, node=node))
             elif kind is LinkFlap:
-                faults.append(LinkFlap(at_s=clock, node=node,
-                                       down_s=rng.uniform(0.2, 2.0)))
+                down_s = rng.uniform(0.2, 2.0)
+                busy_until[node] = clock + down_s
+                faults.append(LinkFlap(at_s=clock, node=node, down_s=down_s))
             elif kind is BandwidthDegradation:
+                fraction = rng.uniform(0.2, 0.8)
+                duration_s = rng.uniform(0.5, 5.0)
+                busy_until[node] = clock + duration_s
                 faults.append(BandwidthDegradation(
-                    at_s=clock, node=node,
-                    fraction=rng.uniform(0.2, 0.8),
-                    duration_s=rng.uniform(0.5, 5.0)))
+                    at_s=clock, node=node, fraction=fraction,
+                    duration_s=duration_s))
             elif kind is Straggler:
+                slowdown = rng.uniform(2.0, 8.0)
+                duration_s = rng.uniform(0.5, 5.0)
+                busy_until[node] = clock + duration_s
                 faults.append(Straggler(at_s=clock, node=node,
-                                        slowdown=rng.uniform(2.0, 8.0),
-                                        duration_s=rng.uniform(0.5, 5.0)))
+                                        slowdown=slowdown,
+                                        duration_s=duration_s))
             else:
                 raise FaultInjectionError(f"unknown fault kind {kind!r}")
         return cls(faults)
@@ -302,9 +335,10 @@ class FaultPlan:
         clean leaves, joins of new or previously-lost identities) with
         link-level faults, while tracking the implied membership set so
         the resulting plan always passes :meth:`validate_for`: the group
-        never drops below ``min_nodes`` and joins never target a current
-        member.  ``max_extra_nodes`` bounds brand-new identities beyond
-        the initial cluster.
+        never drops below ``min_nodes``, joins never target a current
+        member, and windowed NIC faults never overlap an open window on
+        the same node.  ``max_extra_nodes`` bounds brand-new identities
+        beyond the initial cluster.
         """
         if num_nodes < 1:
             raise FaultInjectionError("num_nodes must be >= 1")
@@ -325,6 +359,7 @@ class FaultPlan:
         members = set(range(num_nodes))
         gone: set[int] = set()  # crashed or departed, eligible to rejoin
         next_new = num_nodes
+        busy_until: dict[int, float] = {}
         faults: list[Fault] = []
         clock = 0.0
         while True:
@@ -351,20 +386,30 @@ class FaultPlan:
                 members.add(node)
                 faults.append(NodeJoin(at_s=clock, node=node))
             else:
-                node = rng.choice(sorted(members))
+                idle = [n for n in sorted(members)
+                        if clock >= busy_until.get(n, 0.0)]
+                if not idle:
+                    continue  # every member's NIC window is open
+                node = rng.choice(idle)
                 if kind is LinkFlap:
+                    down_s = rng.uniform(0.2, 2.0)
+                    busy_until[node] = clock + down_s
                     faults.append(LinkFlap(at_s=clock, node=node,
-                                           down_s=rng.uniform(0.2, 2.0)))
+                                           down_s=down_s))
                 elif kind is BandwidthDegradation:
+                    fraction = rng.uniform(0.2, 0.8)
+                    duration_s = rng.uniform(0.5, 5.0)
+                    busy_until[node] = clock + duration_s
                     faults.append(BandwidthDegradation(
-                        at_s=clock, node=node,
-                        fraction=rng.uniform(0.2, 0.8),
-                        duration_s=rng.uniform(0.5, 5.0)))
+                        at_s=clock, node=node, fraction=fraction,
+                        duration_s=duration_s))
                 else:
+                    slowdown = rng.uniform(2.0, 8.0)
+                    duration_s = rng.uniform(0.5, 5.0)
+                    busy_until[node] = clock + duration_s
                     faults.append(Straggler(
-                        at_s=clock, node=node,
-                        slowdown=rng.uniform(2.0, 8.0),
-                        duration_s=rng.uniform(0.5, 5.0)))
+                        at_s=clock, node=node, slowdown=slowdown,
+                        duration_s=duration_s))
         return cls(faults)
 
 

@@ -232,7 +232,7 @@ class Flow:
     """
 
     __slots__ = ("flow_id", "links", "size_bits", "rate_cap_bps", "done",
-                 "started_at", "tail_latency_s", "weight", "label",
+                 "started_at", "tail_latency_s", "weight", "label", "job",
                  "_table", "_slot")
 
     _ids = itertools.count()
@@ -240,7 +240,7 @@ class Flow:
     def __init__(self, table: _FlowTable, links: t.Sequence[Link],
                  size_bits: float, rate_cap_bps: float | None, done: Event,
                  now: float, tail_latency_s: float = 0.0, weight: int = 1,
-                 label: str | None = None) -> None:
+                 label: str | None = None, job: str | None = None) -> None:
         if size_bits < 0:
             raise NetworkError(f"flow size must be non-negative, got {size_bits}")
         if not links:
@@ -262,6 +262,14 @@ class Flow:
         #: Optional provenance tag (e.g. the collective algorithm that
         #: placed this flow); surfaces in flow telemetry, never in rates.
         self.label = label
+        #: Owning tenant (``job_id``) on a shared multi-job fabric.
+        #: Unlike ``label`` this *does* shape rate assignment: when a
+        #: bottleneck component mixes flows of two or more jobs, the
+        #: solver switches to two-level fairness (between jobs first,
+        #: weighted by :attr:`FluidNetwork.job_priorities`, then among
+        #: each job's flows).  ``None`` everywhere keeps the classic
+        #: single-tenant solver paths bit-identical.
+        self.job = job
         self._table = table
         self._slot = table.add(self, self.size_bits, 1.0)
 
@@ -329,7 +337,7 @@ class GroupFlow(Flow):
                  member_links: t.Sequence[t.Sequence[Link]],
                  size_bits: float, rate_cap_bps: float | None, done: Event,
                  now: float, tail_latency_s: float = 0.0, weight: int = 1,
-                 label: str | None = None) -> None:
+                 label: str | None = None, job: str | None = None) -> None:
         members = member_links if isinstance(member_links, tuple) \
             else tuple(tuple(links) for links in member_links)
         if len(members) < 2:
@@ -340,7 +348,7 @@ class GroupFlow(Flow):
         self._channel: "_BundleChannel | None" = None
         super().__init__(table, members[0], size_bits, rate_cap_bps, done,
                          now, tail_latency_s=tail_latency_s, weight=weight,
-                         label=label)
+                         label=label, job=job)
         table.mult[self._slot] = float(len(members))
 
     def member_link_sets(self) -> tuple[tuple[Link, ...], ...]:
@@ -505,6 +513,15 @@ class FluidNetwork:
         #: flow telemetry can be sliced per algorithm).  Purely
         #: observational: it never influences rate assignment.
         self.flow_label: str | None = None
+        #: Tenant tag stamped on every flow created while set (the
+        #: cluster runtime sets it around each job's launches).  Flows
+        #: of different jobs meeting on a shared link are rate-split by
+        #: two-level fairness — see :meth:`_solve_component_jobs`.
+        self.flow_job: str | None = None
+        #: ``job_id -> priority weight`` for inter-job fairness at
+        #: shared links.  Jobs absent from the map (and untagged flows,
+        #: which pool under one pseudo-job) weigh 1.0.
+        self.job_priorities: dict[str, float] = {}
 
     # -- public API -------------------------------------------------------
 
@@ -534,7 +551,7 @@ class FluidNetwork:
         self._advance_progress()
         flow = Flow(self._table, links, size_bytes * 8.0, rate_cap_bps, done,
                     self.sim.now, tail_latency_s=latency, weight=weight,
-                    label=self.flow_label)
+                    label=self.flow_label, job=self.flow_job)
         if flow.size_bits <= _COMPLETE_BITS:
             self._maybe_finished = True
         self.flows[flow] = None
@@ -583,7 +600,7 @@ class FluidNetwork:
             flows.append(Flow(self._table, links, size_bytes * 8.0,
                               rate_cap_bps, done, now,
                               tail_latency_s=latency, weight=weight,
-                              label=self.flow_label))
+                              label=self.flow_label, job=self.flow_job))
         if not flows:
             return events
         dirty = self._dirty_links
@@ -694,7 +711,7 @@ class FluidNetwork:
         group = GroupFlow(self._table, members, size_bytes * 8.0,
                           rate_cap_bps, done, self.sim.now,
                           tail_latency_s=latency, weight=weight,
-                          label=self.flow_label)
+                          label=self.flow_label, job=self.flow_job)
         group._channel = channel
         channel.groups[group] = None
         if group.size_bits <= _COMPLETE_BITS:
@@ -877,7 +894,8 @@ class FluidNetwork:
             flow = Flow(self._table, links, group.size_bits,
                         group.rate_cap_bps, inner, group.started_at,
                         tail_latency_s=group.tail_latency_s,
-                        weight=group.weight, label=group.label)
+                        weight=group.weight, label=group.label,
+                        job=group.job)
             flow.remaining_bits = remaining
             if remaining <= _COMPLETE_BITS:
                 self._maybe_finished = True
@@ -1005,6 +1023,14 @@ class FluidNetwork:
         # Global creation order makes the per-link arithmetic match a
         # from-scratch global solve exactly.
         component = sorted(flows_seen, key=lambda f: f.flow_id)
+        jobs = {flow.job for flow in component}
+        if len(jobs) > 1:
+            # The component mixes tenants: rates come from two-level
+            # fairness (between jobs first, then within each job).
+            # Single-tenant and untagged components never reach this
+            # branch, so the classic paths below stay bit-identical.
+            self._solve_component_jobs(component)
+            return
         if len(component) >= VECTOR_SOLVE_MIN_FLOWS:
             self._solve_component_vector(component)
             return
@@ -1047,6 +1073,98 @@ class FluidNetwork:
             ]
             for flow in bottlenecked:
                 fix_rate(flow, share, unassigned, residual, load)
+
+    def _solve_component_jobs(self, component: list[Flow]) -> None:
+        """Two-level (inter-job, then intra-job) water-fill.
+
+        On a shared multi-tenant fabric, fairness must hold *between
+        jobs* at every shared link, not between individual flows: a job
+        that opens 16 streams must not crowd out a neighbour running 2.
+        Each filling round offers every unassigned flow a per-stream
+        rate derived hierarchically — the link's residual capacity is
+        split between the jobs present (proportional to
+        :attr:`job_priorities`, default 1.0; untagged flows pool under
+        one pseudo-job), and each job's share is split over its own
+        streams by flow weight.  Flows whose per-stream cap sits below
+        their offer take the cap; otherwise the flows at the lowest
+        offer (their bottleneck is exhausted at that level) are frozen
+        and their bandwidth debited.  Each round fixes at least one
+        flow, and released surplus is re-offered to the survivors in
+        later rounds, so the filling is work-conserving.
+
+        Only components whose flows span two or more distinct job tags
+        are solved here; everything else takes the classic paths, which
+        keeps all single-tenant replay digests bit-identical.
+        """
+        priorities = self.job_priorities
+        unassigned: dict[Flow, None] = dict.fromkeys(component)
+        residual: dict[Link, float] = {}
+        for flow in unassigned:
+            for link in flow.links:
+                if link not in residual:
+                    residual[link] = link.capacity_bps
+
+        while unassigned:
+            # Per-link hierarchy over the surviving flows: which jobs
+            # are present, and each job's total stream weight there.
+            link_jobs: dict[Link, dict[str, float]] = {}
+            for flow in unassigned:
+                tenant = flow.job if flow.job is not None else "-"
+                for link in flow.links:
+                    weights = link_jobs.setdefault(link, {})
+                    weights[tenant] = weights.get(tenant, 0.0) + flow.weight
+            prio_sum: dict[Link, float] = {
+                link: sum(priorities.get(tenant, 1.0) for tenant in weights)
+                for link, weights in link_jobs.items()
+            }
+            offers: dict[Flow, float] = {}
+            for flow in unassigned:
+                tenant = flow.job if flow.job is not None else "-"
+                prio = priorities.get(tenant, 1.0)
+                offer = math.inf
+                for link in flow.links:
+                    weights = link_jobs[link]
+                    per_stream = (residual[link] * prio / prio_sum[link]
+                                  / weights[tenant])
+                    if per_stream < offer:
+                        offer = per_stream
+                offers[flow] = offer
+
+            capped = [f for f in unassigned
+                      if f.rate_cap_bps is not None
+                      and f.rate_cap_bps <= offers[f] * (1 + _EPS)]
+            if capped:
+                for flow in capped:
+                    self._fix_rate_hierarchical(flow, flow.rate_cap_bps,
+                                                unassigned, residual)
+                continue
+            floor = min(offers.values())
+            frozen = [f for f in unassigned
+                      if offers[f] <= floor * (1 + _EPS)]
+            for flow in frozen:
+                self._fix_rate_hierarchical(flow, offers[flow],
+                                            unassigned, residual)
+
+    @staticmethod
+    def _fix_rate_hierarchical(flow: Flow, per_stream_rate: float,
+                               unassigned: dict[Flow, None],
+                               residual: dict[Link, float]) -> None:
+        """Freeze one flow's rate in the two-level filling.
+
+        Like :meth:`_fix_rate`, but the hierarchical solver rebuilds
+        its per-link job weights every round instead of carrying the
+        integer load cache (per-job shares are not expressible as a
+        single load count).
+        """
+        rate = per_stream_rate if per_stream_rate > 0.0 else 0.0
+        if flow.weight != 1:
+            rate *= flow.weight
+        flow.rate_bps = rate
+        flow._finish_s = flow.remaining_bits / rate if rate > 0 else math.inf
+        unassigned.pop(flow, None)
+        for link in flow.links:
+            left = residual[link] - rate
+            residual[link] = left if left > 0.0 else 0.0
 
     def _solve_component_vector(self, component: list[Flow]) -> None:
         """Array water-fill of one component, bit-identical to the scalar.
@@ -1227,7 +1345,8 @@ class FluidNetwork:
             if self.diag is not None:
                 self.diag.observe_flow(
                     [link.name for link in links], flow.label,
-                    flow.size_bits / 8.0, duration, throttled)
+                    flow.size_bits / 8.0, duration, throttled,
+                    job=flow.job)
             span_meta: dict[str, object] = dict(
                 lane=bottleneck.name, bytes=flow.size_bits / 8.0,
                 rate_bps=rate, utilisation=utilisation,
@@ -1236,6 +1355,9 @@ class FluidNetwork:
             if flow.label is not None:
                 span_meta["algorithm"] = flow.label
                 metric_labels["algorithm"] = flow.label
+            if flow.job is not None:
+                span_meta["job"] = flow.job
+                metric_labels["job"] = flow.job
             obs.timeline.span(
                 "flow", "net", NETWORK_RANK, flow.started_at, self.sim.now,
                 **span_meta)

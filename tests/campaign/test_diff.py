@@ -1,0 +1,124 @@
+"""Campaign diff tests: `diff_reports` and `python -m repro campaign diff`.
+
+The contract: two stores diff clean if and only if their report digests
+match, and the CLI exits non-zero on divergence (ISSUE 10 satellite).
+"""
+
+import json
+
+from repro.campaign.report import CampaignReport, CellDiff, diff_reports
+from repro.campaign.store import RunRow
+from repro.cli import main
+
+
+def make_row(spec_id, state="done", result=None, error_class=None,
+             attempt=1, wall=0.5):
+    return RunRow(campaign_id=1, spec_id=spec_id, runner="sleep",
+                  params={"cell": spec_id}, state=state, attempt=attempt,
+                  not_before=0.0, claim_token=None, claimed_by=None,
+                  heartbeat_at=None, lease_expires_at=None,
+                  wall_time_s=wall, error_class=error_class,
+                  error=None, traceback=None, result=result)
+
+
+def make_report(rows):
+    counts = {state: 0 for state in
+              ("pending", "claimed", "running", "done", "failed",
+               "quarantined")}
+    for row in rows:
+        counts[row.state] += 1
+    return CampaignReport(campaign_id=1, name="t", counts=counts,
+                          rows=tuple(rows))
+
+
+class TestDiffReports:
+    def test_identical_reports_diff_clean(self):
+        rows = [make_row("a", result={"x": 1}),
+                make_row("b", state="failed", error_class="TrainingError")]
+        a, b = make_report(rows), make_report(rows)
+        assert diff_reports(a, b) == []
+        assert a.digest() == b.digest()
+
+    def test_excluded_fields_do_not_diverge(self):
+        # Attempts and wall time are excluded from the digest; the diff
+        # must agree with the digest on what counts as divergence.
+        a = make_report([make_row("a", result={"x": 1}, attempt=1,
+                                  wall=0.1)])
+        b = make_report([make_row("a", result={"x": 1}, attempt=7,
+                                  wall=9.9)])
+        assert diff_reports(a, b) == []
+        assert a.digest() == b.digest()
+
+    def test_state_and_result_divergence_reported(self):
+        a = make_report([make_row("a", result={"x": 1}),
+                         make_row("b", result={"y": 2})])
+        b = make_report([make_row("a", result={"x": 1}),
+                         make_row("b", state="failed",
+                                  error_class="TrainingError")])
+        diffs = diff_reports(a, b)
+        assert diffs == [CellDiff("b", "state", "done", "failed")]
+        assert a.digest() != b.digest()
+
+    def test_result_payload_divergence(self):
+        a = make_report([make_row("a", result={"x": 1})])
+        b = make_report([make_row("a", result={"x": 2})])
+        (diff,) = diff_reports(a, b)
+        assert (diff.spec_id, diff.field) == ("a", "result")
+        assert "result differs" in diff.render()
+
+    def test_missing_cells_reported_both_directions(self):
+        a = make_report([make_row("a"), make_row("b")])
+        b = make_report([make_row("b"), make_row("c")])
+        diffs = diff_reports(a, b)
+        assert [(d.spec_id, d.field) for d in diffs] == \
+            [("a", "missing"), ("c", "missing")]
+        assert diffs[0].b is None and diffs[1].a is None
+
+    def test_diff_clean_iff_digests_match(self):
+        base = [make_row("a", result={"x": 1}),
+                make_row("b", state="quarantined",
+                         error_class="CampaignStoreError")]
+        variants = [
+            base,
+            [base[0], make_row("b", state="quarantined",
+                               error_class="TimeoutError")],
+            [base[0]],
+        ]
+        for rows in variants:
+            a, b = make_report(base), make_report(rows)
+            assert (diff_reports(a, b) == []) == (a.digest() == b.digest())
+
+
+class TestCampaignDiffCli:
+    def grid_file(self, tmp_path, cells=3, duration=0.01):
+        path = tmp_path / f"grid{cells}.json"
+        path.write_text(json.dumps([
+            {"runner": "sleep", "axes": {"cell": list(range(cells))},
+             "base": {"duration_s": duration}}]))
+        return str(path)
+
+    def run_store(self, tmp_path, name, cells=3):
+        store = tmp_path / name
+        assert main(["campaign", "run", "--store", str(store),
+                     "--grid", self.grid_file(tmp_path, cells),
+                     "--workers", "2", "--lease", "2.0"]) == 0
+        return str(store)
+
+    def test_identical_stores_exit_zero(self, tmp_path, capsys):
+        a = self.run_store(tmp_path, "a.db")
+        b = self.run_store(tmp_path, "b.db")
+        assert main(["campaign", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+
+    def test_divergent_stores_exit_nonzero(self, tmp_path, capsys):
+        a = self.run_store(tmp_path, "a.db", cells=3)
+        b = self.run_store(tmp_path, "b.db", cells=4)
+        assert main(["campaign", "diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "missing" in out
+
+    def test_missing_store_is_typed_error(self, tmp_path, capsys):
+        a = self.run_store(tmp_path, "a.db")
+        assert main(["campaign", "diff", a,
+                     str(tmp_path / "nope.db")]) == 1

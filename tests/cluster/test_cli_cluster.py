@@ -1,0 +1,33 @@
+"""CLI tests for `python -m repro cluster` (the CI smoke entry point)."""
+
+import json
+
+from repro.cli import main
+from repro.cluster import three_job_scenario
+
+
+class TestClusterCli:
+    def test_smoke_with_checks_exits_zero(self, capsys):
+        assert main(["cluster", "--check-isolation",
+                     "--check-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster digest:" in out
+        assert "identical" in out
+        assert "digests match" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "cluster.json"
+        assert main(["cluster", "--json", str(artifact)]) == 0
+        payload = json.loads(artifact.read_text())
+        assert set(payload) >= {"jobs", "findings", "cluster_digest",
+                                "findings_digest"}
+        assert payload["jobs"]["jobA"]["status"] == "completed"
+
+    def test_expect_digest_mismatch_fails(self, capsys):
+        assert main(["cluster", "--expect-digest", "deadbeef"]) == 1
+        captured = capsys.readouterr()
+        assert "deadbeef" in captured.out + captured.err
+
+    def test_expect_digest_match_passes(self, capsys):
+        digest = three_job_scenario(chaos=True).run().cluster_digest
+        assert main(["cluster", "--expect-digest", digest]) == 0

@@ -13,6 +13,8 @@ bundled or as individual flows.
 import repro.collectives.timed as timed_mod
 from repro.collectives import TimedCollectives
 from repro.obs import Observability, diagnose
+from repro.obs.detectors import DetectorSuite
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import FluidNetwork, Link, Simulator, alibaba_v100_cluster
 
 
@@ -114,3 +116,66 @@ class TestCollectiveLevelEquivalence:
         # representations (the clean-run gate the detector thresholds
         # are calibrated against).
         assert bundled.findings == ()
+
+
+class TestJobTaggedBundling:
+    """Per-tenant byte attribution must survive GroupFlow fusion.
+
+    The shared-fabric runtime bills each tenant's link bytes from
+    ``DetectorSuite.job_link_bytes()``; a bundled fan-out must unroll
+    (``member_link_sets``) to exactly the per-link, per-job, per-label
+    accounting its unbundled twin produces.
+    """
+
+    def _run(self, bundled):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        obs = Observability()
+        net.obs = obs
+        net.diag = obs.attach_detectors()
+        members = [[Link(f"m{i}a", 1e9), Link(f"m{i}b", 1e9)]
+                   for i in range(3)]
+        net.flow_job = "jobA"
+        net.flow_label = "ring"
+        if bundled:
+            done = [net.start_flow_group(members, 1e6, rate_cap_bps=4e9)]
+        else:
+            done = [net.start_flow(member, 1e6, rate_cap_bps=4e9)
+                    for member in members]
+        # A second tenant on its own links, concurrently.
+        net.flow_job = "jobB"
+        net.flow_label = "halving-doubling"
+        done.append(net.start_flow([Link("b0", 1e9), Link("b1", 1e9)], 2e6))
+        net.flow_job = None
+        net.flow_label = None
+        sim.run(until=sim.all_of(done))
+        sim.run()
+        return net, net.diag
+
+    def test_job_attribution_identical_bundled_or_not(self):
+        net_b, diag_b = self._run(bundled=True)
+        net_u, diag_u = self._run(bundled=False)
+        assert net_b._claims and not net_u._claims  # fusion really differed
+        assert diag_b.job_link_bytes() == diag_u.job_link_bytes()
+
+    def test_bytes_attributed_to_the_correct_tenant(self):
+        _, diag = self._run(bundled=True)
+        per_job = diag.job_link_bytes()
+        for i in range(3):
+            for side in "ab":
+                assert per_job[(f"m{i}{side}", "jobA", "ring")] == 1e6
+        for link in ("b0", "b1"):
+            assert per_job[(link, "jobB", "halving-doubling")] == 2e6
+        # Private links never leak bytes across tenants.
+        jobs_per_link: dict[str, set] = {}
+        for link, job, _label in per_job:
+            jobs_per_link.setdefault(link, set()).add(job)
+        assert all(len(jobs) == 1 for jobs in jobs_per_link.values())
+
+    def test_gauge_round_trip_preserves_attribution(self):
+        _, diag = self._run(bundled=True)
+        registry = MetricsRegistry()
+        diag.publish(registry)
+        fresh = DetectorSuite()
+        fresh.seed_from_registry(registry)
+        assert fresh.job_link_bytes() == diag.job_link_bytes()

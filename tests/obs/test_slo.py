@@ -221,3 +221,33 @@ class TestCampaignBaseline:
         path = self.make_store(tmp_path, [{"note": "no-iteration-time"}])
         with pytest.raises(ReproError, match="mean_iteration_s"):
             load_campaign_baseline(path)
+
+
+class TestJobSlos:
+    """Per-job SLO sentinels for the shared-fabric runtime."""
+
+    def test_sentinel_shape(self):
+        from repro.obs.slo import job_slos
+
+        (slo,) = job_slos("jobA", baseline_step_s=0.2, slack_ratio=1.5)
+        assert slo.name == "job:jobA:step_time"
+        assert slo.metric == "job:jobA:step_time_s"
+        assert slo.max_value == pytest.approx(0.3)
+        assert slo.min_value is None
+
+    def test_breach_evaluation(self):
+        from repro.obs.slo import job_slos
+
+        slos = job_slos("j", baseline_step_s=0.1, slack_ratio=2.0)
+        ok = evaluate_slos(slos, {"job:j:step_time_s": 0.15})
+        hot = evaluate_slos(slos, {"job:j:step_time_s": 0.25})
+        assert not any(r.breached for r in ok)
+        assert all(r.breached for r in hot)
+
+    def test_invalid_inputs_rejected(self):
+        from repro.obs.slo import job_slos
+
+        with pytest.raises(ReproError):
+            job_slos("j", baseline_step_s=0.0)
+        with pytest.raises(ReproError):
+            job_slos("j", baseline_step_s=0.1, slack_ratio=1.0)

@@ -71,6 +71,69 @@ class TestFaultPlan:
         assert len(kinds) >= 2  # the draw mixes fault types
 
 
+class TestFaultPlanHardening:
+    """Validation hardening: fractions, window overlap, target bounds."""
+
+    def test_degradation_fraction_bounds(self):
+        # 1.0 is a valid (no-op) degradation; the bound is (0, 1].
+        BandwidthDegradation(at_s=0.0, node=0, fraction=1.0)
+        for bad in (0.0, -0.5, 1.0001, 2.0):
+            with pytest.raises(FaultInjectionError, match=r"\(0, 1\]"):
+                BandwidthDegradation(at_s=0.0, node=0, fraction=bad)
+
+    def test_overlapping_flap_windows_on_same_node_rejected(self):
+        plan = FaultPlan([LinkFlap(at_s=1.0, node=0, down_s=2.0),
+                          LinkFlap(at_s=2.0, node=0, down_s=1.0)])
+        with pytest.raises(FaultInjectionError, match="overlaps"):
+            plan.membership_bounds(2)
+
+    def test_overlap_across_window_kinds_rejected(self):
+        # The injector's capacity save/restore does not nest, so a
+        # straggler window inside a degradation window is just as
+        # broken as two overlapping flaps.
+        plan = FaultPlan([
+            BandwidthDegradation(at_s=0.5, node=1, fraction=0.5,
+                                 duration_s=4.0),
+            Straggler(at_s=2.0, node=1, slowdown=3.0, duration_s=1.0)])
+        with pytest.raises(FaultInjectionError, match="overlaps"):
+            plan.membership_bounds(2)
+
+    def test_back_to_back_and_cross_node_windows_are_valid(self):
+        plan = FaultPlan([
+            LinkFlap(at_s=1.0, node=0, down_s=1.0),
+            LinkFlap(at_s=2.0, node=0, down_s=1.0),  # starts as prior ends
+            Straggler(at_s=1.5, node=1, slowdown=2.0, duration_s=5.0)])
+        assert plan.membership_bounds(2) == (2, 2)
+
+    def test_validate_for_rejects_overlap(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, num_nodes=2)
+        plan = FaultPlan([LinkFlap(at_s=0.0, node=0, down_s=3.0),
+                          LinkFlap(at_s=1.0, node=0, down_s=1.0)])
+        with pytest.raises(FaultInjectionError, match="overlaps"):
+            plan.validate_for(cluster)
+
+    def test_link_fault_target_outside_bounds_rejected(self):
+        plan = FaultPlan([LinkFlap(at_s=0.0, node=9, down_s=1.0)])
+        with pytest.raises(FaultInjectionError, match="knows nodes"):
+            plan.membership_bounds(2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_poisson_windowed_plans_never_overlap(self, seed):
+        plan = FaultPlan.poisson(
+            mtbf_s=0.5, horizon_s=30.0, num_nodes=3, seed=seed,
+            kinds=(LinkFlap, BandwidthDegradation, Straggler))
+        plan.membership_bounds(3)  # includes the overlap check
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_chaos_windowed_plans_never_overlap(self, seed):
+        plan = FaultPlan.chaos(seed=seed, num_nodes=4, horizon_s=40.0,
+                               mtbf_s=0.8)
+        plan.membership_bounds(4)  # includes the overlap check
+
+
 class TestFaultInjectorCrash:
     def test_crash_squashes_links_and_marks_node(self):
         sim = Simulator()
